@@ -1,0 +1,104 @@
+"""Baseline comparison: XPush vs. naive / per-query / shared-path.
+
+The Sec. 1 motivation quantified: engines that do not share predicate
+work degrade as workloads grow, while the XPush machine's per-event
+cost is independent of the workload size.  This is also the ablation
+for the paper's central design decision — sharing *predicates*, not
+just navigation: SharedPathEngine shares structure exactly like the
+prior systems the paper cites, and still loses at high predicate
+counts.
+"""
+
+from repro.afa.build import build_workload_automata
+from repro.baselines import NaiveEngine, PerQueryEngine, SharedPathEngine
+from repro.bench.harness import timed
+from repro.bench.reporting import print_series_table
+from repro.bench.workloads import scaled, standard_stream, standard_workload
+from repro.xmlstream.dom import parse_forest
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import variant_options
+
+
+def test_baseline_comparison(benchmark):
+    stream = standard_stream(scaled(2_000_000, minimum=10_000))
+    documents = parse_forest(stream)
+    rows = []
+    query_counts = [scaled(10_000, minimum=20), scaled(40_000, minimum=80)]
+    engines_seconds = {}
+    for queries in query_counts:
+        filters, dataset = standard_workload(queries, mean_predicates=3.0)
+        workload = build_workload_automata(filters)
+
+        machine = XPushMachine(workload, variant_options("TD-order"), dtd=dataset.dtd)
+        answers, xpush_seconds = timed(
+            lambda: [machine.filter_document(d) for d in documents]
+        )
+        # The sustained regime (states already materialised) is what a
+        # long-running broker sees; the paper's headline numbers are
+        # throughput over large streams where lazy construction has
+        # amortised away.
+        _, xpush_warm_seconds = timed(
+            lambda: [machine.filter_document(d) for d in documents]
+        )
+
+        shared = SharedPathEngine(filters)
+        shared_answers, shared_seconds = timed(
+            lambda: [shared.filter_document(d) for d in documents]
+        )
+        assert shared_answers == answers
+
+        per_query = PerQueryEngine(filters)
+        sample = documents[: max(1, len(documents) // 5)]
+        pq_answers, pq_sample_seconds = timed(
+            lambda: [per_query.filter_document(d) for d in sample]
+        )
+        assert pq_answers == answers[: len(sample)]
+        pq_seconds = pq_sample_seconds * len(documents) / len(sample)
+
+        naive = NaiveEngine(filters)
+        nv_answers, nv_sample_seconds = timed(
+            lambda: [naive.filter_document(d) for d in sample]
+        )
+        assert nv_answers == answers[: len(sample)]
+        nv_seconds = nv_sample_seconds * len(documents) / len(sample)
+
+        engines_seconds[queries] = (
+            xpush_seconds,
+            xpush_warm_seconds,
+            shared_seconds,
+            pq_seconds,
+            nv_seconds,
+        )
+        rows.append(
+            [queries, xpush_seconds, xpush_warm_seconds, shared_seconds, pq_seconds, nv_seconds]
+        )
+    print_series_table(
+        "Baselines: seconds to filter the stream (per-query/naive extrapolated)",
+        ["queries", "xpush cold (s)", "xpush warm (s)", "shared-path (s)", "per-query (s)", "naive (s)"],
+        rows,
+    )
+
+    machine_queries = query_counts[0]
+    filters, dataset = standard_workload(machine_queries, mean_predicates=3.0)
+    machine = XPushMachine(
+        build_workload_automata(filters), variant_options("TD-order"), dtd=dataset.dtd
+    )
+    machine.filter_stream(stream)
+    machine.clear_results()
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=3,
+        iterations=1,
+    )
+
+    # Shape: sustained (warm) XPush beats the unshared engines at the
+    # larger workload, and XPush's cost grows far slower with workload
+    # size than the per-query engine's.
+    small = engines_seconds[query_counts[0]]
+    large = engines_seconds[query_counts[1]]
+    warm = 1
+    assert large[warm] < large[3]  # xpush warm < per-query
+    assert large[warm] < large[4]  # xpush warm < naive
+    xpush_growth = large[warm] / max(small[warm], 1e-9)
+    per_query_growth = large[3] / max(small[3], 1e-9)
+    assert xpush_growth < per_query_growth * 1.5

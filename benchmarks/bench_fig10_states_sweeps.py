@@ -1,0 +1,68 @@
+"""Fig. 10 — number of XPush states (a) vs. predicates/query, (b) vs.
+data size.
+
+(a): with the total number of atomic predicates fixed, raising k (the
+branches per query) *decreases* the number of states, "as we predicted
+in Theorem 6.2"; (b): state counts grow slightly sub-linearly with the
+amount of data processed.
+"""
+
+from repro.bench.figdata import query_sweep, sweep_point, warm_machine
+from repro.bench.reporting import print_series_table
+from repro.bench.workloads import scaled
+from repro.theory.expected import expected_states_ordered
+
+K_SWEEP = (1, 2, 4, 8, 12)
+PAPER_TOTAL_PREDICATES = 200_000
+VARIANTS = ("TD", "TD-order", "TD-order-train")
+
+
+def test_fig10a_states_vs_predicates_per_query(benchmark):
+    total = scaled(PAPER_TOTAL_PREDICATES)
+    rows = []
+    for k in K_SWEEP:
+        queries = max(10, total // k)
+        row = [k, queries]
+        for variant in VARIANTS:
+            row.append(sweep_point(variant, queries, float(k), exact=k).states)
+        rows.append(row)
+    print_series_table(
+        f"Fig 10(a): XPush states vs predicates/query (total atoms ≈ {total})",
+        ["preds/query", "queries"] + list(VARIANTS),
+        rows,
+    )
+    machine, stream = warm_machine(query_sweep(1.15)[0], 1.15)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=1,
+        iterations=1,
+    )
+    # Theorem 6.2's prediction: more branches per query → fewer states.
+    ordered = [row[2 + VARIANTS.index("TD-order")] for row in rows]
+    assert ordered[-1] < ordered[0]
+
+
+def test_fig10b_states_vs_data_size(benchmark):
+    queries = query_sweep(1.15)[-1]
+    fractions = (0.2, 0.4, 0.6, 0.8, 1.0)
+    base_bytes = scaled(100 * 1_000_000, minimum=100_000)
+    rows = []
+    for fraction in fractions:
+        size = int(base_bytes * fraction)
+        result = sweep_point("TD-order", queries, 1.15, stream_bytes=size)
+        rows.append([size / 1e6, result.states])
+    print_series_table(
+        f"Fig 10(b): XPush states vs data size ({queries} queries, TD-order)",
+        ["MB", "states"],
+        rows,
+    )
+    machine, stream = warm_machine(query_sweep(1.15)[0], 1.15)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=1,
+        iterations=1,
+    )
+    counts = [row[1] for row in rows]
+    assert counts == sorted(counts)  # more data, (weakly) more states
+    # Sub-linear: 5x the data yields well under 5x the states.
+    assert counts[-1] < counts[0] * 5

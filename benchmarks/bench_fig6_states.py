@@ -1,0 +1,56 @@
+"""Fig. 6 — number of XPush states vs. number of queries.
+
+Paper: for 200k queries at 1.15 p/q the basic machine built ~150k
+states, "far from the worst case, which is exponential in the number of
+atomic predicates"; every optimisation reduces the count except
+TD-order-train, which *increases* it (training creates states that the
+real data never revisits).  Expected shapes checked below.
+"""
+
+from repro.bench.figdata import FIG6_VARIANTS, query_sweep, sweep_point, warm_machine
+from repro.bench.reporting import print_series_table
+
+
+def _figure(mean_predicates: float, title: str):
+    sweep = query_sweep(mean_predicates)
+    rows = []
+    for queries in sweep:
+        row = [queries]
+        for variant in FIG6_VARIANTS:
+            row.append(sweep_point(variant, queries, mean_predicates).states)
+        rows.append(row)
+    print_series_table(title, ["queries"] + list(FIG6_VARIANTS), rows)
+    return rows
+
+
+def test_fig6a_states_low_predicates(benchmark):
+    rows = _figure(1.15, "Fig 6(a): XPush states, 1.15 predicates/query")
+    machine, stream = warm_machine(query_sweep(1.15)[-1], 1.15)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=3,
+        iterations=1,
+    )
+    largest = rows[-1]
+    queries = largest[0]
+    basic, td, td_order, td_order_train = largest[1:]
+    # Far from exponential: within a small multiple of the query count.
+    assert basic < queries * 20
+    # TD prunes states; training adds extra ones vs. TD-order.
+    assert td <= basic
+    assert td_order_train >= td_order
+
+
+def test_fig6b_states_high_predicates(benchmark):
+    rows = _figure(10.45, "Fig 6(b): XPush states, 10.45 predicates/query")
+    machine, stream = warm_machine(query_sweep(10.45)[-1], 10.45)
+    benchmark.pedantic(
+        lambda: (machine.filter_stream(stream), machine.clear_results()),
+        rounds=3,
+        iterations=1,
+    )
+    largest = rows[-1]
+    basic, td = largest[1], largest[2]
+    assert td <= basic
+    # State counts grow with the workload.
+    assert rows[-1][1] >= rows[0][1]

@@ -1,0 +1,82 @@
+"""Ablation: lazy vs. eager state materialisation (Sec. 4).
+
+"We cannot eagerly compute the entire bottom-up XPush machine for a
+large workload of XPath expressions because it results in exponentially
+many states.  Instead we compute it lazily."  This bench quantifies the
+gap on small workloads where the eager construction still terminates:
+the lazy machine materialises a small, data-dependent fraction of the
+eager machine's states, and the eager count explodes with workload size
+while the lazy one grows gently.
+"""
+
+import random
+
+from repro.afa.build import build_workload_automata
+from repro.bench.reporting import print_series_table
+from repro.xmlstream.dom import Document, Element
+from repro.xpath.generator import flat_workload
+from repro.xpush.eager import BudgetExceeded, EagerXPushMachine
+from repro.xpush.machine import XPushMachine
+
+BRANCHES = [f"b{i}" for i in range(8)]
+VALUES = [str(v) for v in range(6)]
+
+
+def flat_documents(count: int, seed: int) -> list[Document]:
+    rng = random.Random(seed)
+    docs = []
+    for _ in range(count):
+        root = Element("a")
+        for branch in rng.sample(BRANCHES, rng.randint(2, len(BRANCHES))):
+            root.children.append(Element(branch, text=rng.choice(VALUES)))
+        docs.append(Document(root))
+    return docs
+
+
+def test_lazy_vs_eager_state_counts(benchmark):
+    documents = flat_documents(60, seed=1)
+    rows = []
+    exploded_at = None
+    for queries in (2, 4, 6, 8, 10):
+        filters = flat_workload(
+            "a", BRANCHES, queries, 2, VALUES, rng=random.Random(queries)
+        )
+        lazy = XPushMachine(build_workload_automata(filters))
+        for document in documents:
+            lazy.filter_document(document)
+        try:
+            eager = EagerXPushMachine(filters, max_states=40_000)
+            eager_states = eager.state_count
+        except BudgetExceeded:
+            eager_states = ">40000"
+            if exploded_at is None:
+                exploded_at = queries
+        rows.append([queries, lazy.state_count, eager_states])
+    print_series_table(
+        "Sec. 4 ablation: lazily materialised vs eagerly accessible states",
+        ["flat queries (k=2)", "lazy states (60 docs)", "eager states"],
+        rows,
+    )
+
+    benchmark.pedantic(
+        lambda: [
+            XPushMachine(
+                build_workload_automata(
+                    flat_workload("a", BRANCHES, 6, 2, VALUES, rng=random.Random(6))
+                )
+            ).filter_document(document)
+            for document in documents[:10]
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    # The lazy machine touches a fraction of the eager state space, and
+    # the gap widens with the workload.
+    numeric = [(row[1], row[2]) for row in rows if isinstance(row[2], int)]
+    assert numeric, "eager construction should succeed for the smallest points"
+    for lazy_states, eager_states in numeric:
+        assert lazy_states <= eager_states
+    first_ratio = numeric[0][1] / numeric[0][0]
+    last_ratio = numeric[-1][1] / numeric[-1][0]
+    assert last_ratio >= first_ratio * 0.8  # gap does not shrink

@@ -1,0 +1,65 @@
+"""Ablation: memory management for unbounded streams.
+
+Sec. 6 observes that states grow linearly with the number of documents
+("we need some form of memory management in order to process infinite
+streams") and Sec. 7 frames the machine as a cache whose states "can be
+deleted when we run out of memory and recomputed later".  This bench
+measures that trade-off: capping the state store (flush at document
+boundaries) bounds memory at the cost of re-computation — quantified
+by the hit ratio and filtering time at several caps.
+"""
+
+from repro.afa.build import build_workload_automata
+from repro.bench.harness import timed
+from repro.bench.reporting import print_series_table
+from repro.bench.workloads import scaled, standard_stream, standard_workload
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+
+
+def test_memory_capped_machines(benchmark):
+    queries = scaled(50_000, minimum=100)
+    filters, dataset = standard_workload(queries, mean_predicates=1.15)
+    workload = build_workload_automata(filters)
+    stream = standard_stream(scaled(30_000_000, minimum=60_000))
+
+    uncapped = XPushMachine(
+        workload, XPushOptions(top_down=True, precompute_values=False)
+    )
+    _, baseline_seconds = timed(uncapped.filter_stream, stream)
+    baseline_answers = uncapped.results()
+    baseline_states = uncapped.state_count
+
+    rows = [["unbounded", baseline_states, 0, f"{uncapped.stats.hit_ratio:.3f}", baseline_seconds]]
+    caps = [max(50, baseline_states // 2), max(25, baseline_states // 8)]
+    for cap in caps:
+        machine = XPushMachine(
+            workload,
+            XPushOptions(top_down=True, precompute_values=False, max_states=cap),
+        )
+        _, seconds = timed(machine.filter_stream, stream)
+        # Correctness is unaffected by flushing.
+        assert machine.results() == baseline_answers
+        assert machine.state_count <= cap * 2  # cap + at most one doc's states
+        rows.append(
+            [f"cap={cap}", machine.state_count, machine.stats.flushes,
+             f"{machine.stats.hit_ratio:.3f}", seconds]
+        )
+    print_series_table(
+        f"Memory management: state cap vs cost ({queries} queries)",
+        ["store", "final states", "flushes", "hit ratio", "seconds"],
+        rows,
+    )
+
+    benchmark.pedantic(
+        lambda: XPushMachine(
+            workload,
+            XPushOptions(top_down=True, precompute_values=False, max_states=caps[-1]),
+        ).filter_stream(stream),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The tighter the cap, the more flushes and the lower the hit ratio.
+    flushes = [row[2] for row in rows]
+    assert flushes[-1] >= flushes[1] >= flushes[0]

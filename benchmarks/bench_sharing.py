@@ -1,0 +1,66 @@
+"""The paper's premise, measured: how much sharing exists in workloads.
+
+Sec. 1: "When the workload has many XPath queries, each with several
+predicates, such common predicates are frequent."  This bench profiles
+the synthetic workloads the other benches use (predicate/prefix
+sharing ratios, duplicate filter classes) and shows the effect of
+running the deduplicated engine.
+"""
+
+from repro.bench.reporting import print_series_table
+from repro.bench.workloads import scaled, standard_stream, standard_workload
+from repro.xpath.analysis import most_shared_predicates, profile_workload
+from repro.xpath.dedupe import DeduplicatedEngine, DeduplicatedWorkload
+
+
+def test_workload_sharing_profile(benchmark):
+    rows = []
+    for queries in (scaled(50_000, minimum=100), scaled(200_000, minimum=400)):
+        for mean in (1.15, 10.45):
+            filters, _ = standard_workload(
+                max(10, queries if mean < 5 else queries // 10), mean_predicates=mean
+            )
+            profile = profile_workload(filters)
+            dedup = DeduplicatedWorkload(filters)
+            rows.append(
+                [
+                    profile.queries,
+                    f"{mean:.2f}",
+                    profile.total_atomic_predicates,
+                    profile.distinct_atomic_predicates,
+                    f"{profile.predicate_sharing_ratio:.2f}",
+                    f"{profile.prefix_sharing_ratio:.2f}",
+                    dedup.duplicates_removed,
+                ]
+            )
+    print_series_table(
+        "Workload sharing (the opportunity the XPush machine exploits)",
+        [
+            "queries",
+            "preds/query",
+            "atoms",
+            "distinct atoms",
+            "atom sharing",
+            "prefix sharing",
+            "dup filters",
+        ],
+        rows,
+    )
+
+    filters, dataset = standard_workload(scaled(50_000, minimum=100), mean_predicates=1.15)
+    top = most_shared_predicates(filters, top=5)
+    print_series_table(
+        "Most shared atomic predicates",
+        ["predicate (path, op, const)", "occurrences"],
+        [[str(key), count] for key, count in top],
+    )
+
+    stream = standard_stream(scaled(9_120_000, minimum=20_000))
+    engine = DeduplicatedEngine(filters, dtd=dataset.dtd)
+
+    benchmark.pedantic(lambda: engine.filter_stream(stream), rounds=1, iterations=1)
+
+    # At scale, sharing exists: ratios exceed 1 and prefixes are heavily shared.
+    for row in rows:
+        assert float(row[4]) >= 1.0
+        assert float(row[5]) > 1.5

@@ -1,0 +1,127 @@
+"""Theorem 6.2 — analytic vs. measured state counts on flat workloads.
+
+Flat workloads (``/a[b1=v1 and … and bk=vk]``) with controlled
+selectivity let us check the theorem's three consequences empirically:
+
+1. lower selectivity → fewer states;
+2. states grow about linearly with the number of documents N;
+3. with the order optimisation and k·n total branches fixed, more
+   branches per query (higher k) → fewer states.
+"""
+
+import random
+
+from repro.afa.build import build_workload_automata
+from repro.bench.reporting import print_series_table
+from repro.xmlstream.dom import Document, Element
+from repro.xmlstream.dtd import DTD, ElementDecl, PCDATA, elem, seq
+from repro.xpath.generator import flat_workload
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+from repro.theory.expected import expected_states_ordered, expected_states_unordered
+
+BRANCHES = [f"b{i}" for i in range(12)]
+
+
+def flat_dtd() -> DTD:
+    decls = [ElementDecl("a", seq(*[elem(b, "?") for b in BRANCHES]))]
+    decls += [ElementDecl(b, PCDATA) for b in BRANCHES]
+    return DTD("a", decls)
+
+
+def generate_documents(count: int, value_space: int, seed: int) -> list[Document]:
+    """Flat documents; each branch present with a random value.  With
+    ``value_space`` possible values, an equality predicate has
+    selectivity ≈ 1/value_space."""
+    rng = random.Random(seed)
+    docs = []
+    for _ in range(count):
+        root = Element("a")
+        for branch in BRANCHES:
+            root.children.append(
+                Element(branch, text=str(rng.randrange(value_space)))
+            )
+        docs.append(Document(root))
+    return docs
+
+
+def measure_states(k: int, queries: int, value_space: int, documents: int, order: bool, seed: int = 0) -> int:
+    values = [str(v) for v in range(value_space)]
+    filters = flat_workload("a", BRANCHES, queries, k, values, rng=random.Random(seed))
+    options = XPushOptions(order=order) if order else XPushOptions()
+    machine = XPushMachine(
+        build_workload_automata(filters), options, dtd=flat_dtd() if order else None
+    )
+    for doc in generate_documents(documents, value_space, seed + 1):
+        machine.filter_document(doc)
+    return machine.state_count
+
+
+def test_selectivity_effect(benchmark):
+    rows = []
+    for value_space in (4, 16, 64):
+        selectivity = 1.0 / value_space
+        states = measure_states(k=2, queries=30, value_space=value_space, documents=60, order=False)
+        bound = expected_states_unordered(60, 60, selectivity)
+        rows.append([f"1/{value_space}", states, f"{bound:.0f}"])
+    print_series_table(
+        "Theorem 6.2: states vs selectivity (30 flat queries, k=2, N=60)",
+        ["selectivity", "measured states", "unordered bound (σ≪1/N regime)"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: measure_states(k=2, queries=30, value_space=64, documents=60, order=False),
+        rounds=1,
+        iterations=1,
+    )
+    measured = [row[1] for row in rows]
+    assert measured[-1] < measured[0]  # lower σ → fewer states
+
+
+def test_growth_in_documents(benchmark):
+    rows = []
+    for documents in (20, 40, 80, 160):
+        states = measure_states(k=2, queries=30, value_space=32, documents=documents, order=False)
+        rows.append([documents, states])
+    print_series_table(
+        "Theorem 6.2: states vs N (30 flat queries, k=2, σ=1/32)",
+        ["documents", "measured states"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: measure_states(k=2, queries=30, value_space=32, documents=40, order=False),
+        rounds=1,
+        iterations=1,
+    )
+    counts = [row[1] for row in rows]
+    assert counts == sorted(counts)
+    # At-most-linear growth in N (the theorem's N·m·σ term).
+    assert counts[-1] <= counts[0] * (160 / 20) * 1.5
+
+
+def test_order_optimisation_vs_branches_per_query(benchmark):
+    """k·n fixed at 24 branches total; higher k → fewer states under
+    the order optimisation (the Fig. 10(a) / Theorem 6.2(2) effect)."""
+    total_branches = 24
+    rows = []
+    for k in (1, 2, 4, 8):
+        queries = total_branches // k
+        ordered = measure_states(k=k, queries=queries, value_space=16, documents=80, order=True)
+        unordered = measure_states(k=k, queries=queries, value_space=16, documents=80, order=False)
+        bound = expected_states_ordered(80, queries, k, 1 / 16)
+        rows.append([k, queries, ordered, unordered, f"{bound:.0f}"])
+    print_series_table(
+        "Theorem 6.2(2): states with/without order optimisation (k·n = 24)",
+        ["k", "queries", "ordered states", "unordered states", "ordered bound"],
+        rows,
+    )
+    benchmark.pedantic(
+        lambda: measure_states(k=4, queries=6, value_space=16, documents=80, order=True),
+        rounds=1,
+        iterations=1,
+    )
+    ordered_counts = [row[2] for row in rows]
+    assert ordered_counts[-1] <= ordered_counts[0]
+    # The order optimisation never increases the state count here.
+    for row in rows:
+        assert row[2] <= row[3] * 1.2

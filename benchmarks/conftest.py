@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every bench prints the table of rows its paper figure plots (run with
+``-s`` or rely on pytest-benchmark's captured output in CI logs) and
+records one representative timing through the ``benchmark`` fixture.
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 0.01 = 1/100 of the paper's
+workload sizes) before running to move the sweeps up or down.
+"""
+
+import pytest
+
+from repro.bench.workloads import bench_scale
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks at REPRO_BENCH_SCALE={bench_scale()} (1.0 = paper scale)"

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` works through this setup.py via
+the legacy code path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

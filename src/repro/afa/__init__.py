@@ -1,0 +1,30 @@
+"""Alternating Finite Automata and the atomic predicate machinery.
+
+Step 1 of the paper's compilation pipeline (Sec. 3.2): each XPath filter
+becomes an AFA whose states are labelled AND, OR or NOT, with
+ε-transitions for the boolean connectives, label transitions for
+navigation, terminal states carrying atomic predicates on data values,
+and a ⊤ sink for pure existence tests.
+
+The atomic predicate index (Sec. 2) answers "given a data value v, which
+predicates are true on v" in logarithmic time; it is shared by the XPush
+machine's ``t_value`` and by the baselines.
+"""
+
+from repro.afa.automaton import AFA, AfaState, StateKind, WorkloadAutomata
+from repro.afa.build import build_afa, build_workload_automata
+from repro.afa.index import AtomicPredicateIndex
+from repro.afa.predicates import AtomicPredicate, canonical_value, compare
+
+__all__ = [
+    "AFA",
+    "AfaState",
+    "AtomicPredicate",
+    "AtomicPredicateIndex",
+    "StateKind",
+    "WorkloadAutomata",
+    "build_afa",
+    "build_workload_automata",
+    "canonical_value",
+    "compare",
+]

@@ -1,0 +1,79 @@
+"""Aho–Corasick dictionary matching, from scratch.
+
+Sec. 2 of the paper notes that the ``starts-with`` and ``contains``
+string predicates can be supported in the atomic predicate index "by
+adapting Aho and Corasick's dictionary search tree".  This module is
+that adaptation: a classic goto/fail automaton whose :meth:`match_set`
+returns the set of dictionary patterns occurring in a value, which the
+index then combines with prefix information for ``starts-with``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+
+class AhoCorasick:
+    """Multi-pattern matcher over a fixed dictionary of strings."""
+
+    def __init__(self, patterns: Iterable[str]):
+        self.patterns: list[str] = []
+        self._goto: list[dict[str, int]] = [{}]
+        self._fail: list[int] = [0]
+        self._output: list[set[int]] = [set()]
+        for pattern in patterns:
+            self._insert(pattern)
+        self._build_failure_links()
+
+    def _new_node(self) -> int:
+        self._goto.append({})
+        self._fail.append(0)
+        self._output.append(set())
+        return len(self._goto) - 1
+
+    def _insert(self, pattern: str) -> None:
+        if pattern == "":
+            raise ValueError("empty patterns are not allowed")
+        index = len(self.patterns)
+        self.patterns.append(pattern)
+        node = 0
+        for ch in pattern:
+            nxt = self._goto[node].get(ch)
+            if nxt is None:
+                nxt = self._new_node()
+                self._goto[node][ch] = nxt
+            node = nxt
+        self._output[node].add(index)
+
+    def _build_failure_links(self) -> None:
+        queue: deque[int] = deque()
+        for node in self._goto[0].values():
+            self._fail[node] = 0
+            queue.append(node)
+        while queue:
+            current = queue.popleft()
+            for ch, nxt in self._goto[current].items():
+                queue.append(nxt)
+                fallback = self._fail[current]
+                while fallback and ch not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[nxt] = self._goto[fallback].get(ch, 0)
+                if self._fail[nxt] == nxt:  # can happen only from the root
+                    self._fail[nxt] = 0
+                self._output[nxt] |= self._output[self._fail[nxt]]
+
+    def match_set(self, text: str) -> frozenset[int]:
+        """Indexes of all patterns occurring anywhere in *text*."""
+        found: set[int] = set()
+        node = 0
+        for ch in text:
+            while node and ch not in self._goto[node]:
+                node = self._fail[node]
+            node = self._goto[node].get(ch, 0)
+            if self._output[node]:
+                found |= self._output[node]
+        return frozenset(found)
+
+    def __len__(self) -> int:
+        return len(self.patterns)

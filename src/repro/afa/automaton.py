@@ -1,0 +1,329 @@
+"""Alternating Finite Automata (Sec. 3.2, Step 1).
+
+An AFA is a nondeterministic automaton whose states are labelled AND,
+OR or NOT.  Navigation uses *label transitions* ``δ(s, a)`` (with the
+wildcards ``*`` over element labels and ``@*`` over attribute labels);
+boolean connectives use ε-transitions; terminal states carry an atomic
+predicate ``π_s`` on data values.  Matching semantics (on a document
+tree) is the paper's:
+
+- an OR state matches a node x if x is a data value and ``π_s(x)``, or
+  some transition ``s' ∈ δ(s, a)`` and child y of x labelled *a* (y = x
+  for ε) has s' matching y;
+- an AND state matches x if all its ε-successors match x;
+- a NOT state matches x if its single ε-successor does not match x.
+
+Two pragmatic extensions used by the compiler (:mod:`repro.afa.build`):
+
+- **⊤-edges**: a transition ``s --a--> ⊤`` means "s matches x if x has
+  any child labelled a"; ⊤ is not materialised as a state — instead the
+  workload keeps, per label, the list of states with a ⊤-edge on it, so
+  ``t_pop`` can add them whenever such an element closes (this is how
+  pure existence tests like ``a[b]`` witness an *empty* ``<b/>``);
+- OR states may carry both label edges and ε-successors (needed for
+  ``a//text() = v`` and similar shapes).
+
+The :class:`WorkloadAutomata` aggregates all AFAs of a workload with
+the global structures the XPush machine needs: reverse transitions
+(δ⁻¹ with back-pointers, Sec. 4), the ε-DAG topological ranks that make
+``eval()`` a single ordered pass, the NOT-state list, the terminal list
+feeding the atomic predicate index, and each filter's *notification
+state* for the early-notification optimisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.afa.predicates import AtomicPredicate
+
+WILDCARD = "*"
+ATTRIBUTE_WILDCARD = "@*"
+
+
+class StateKind(enum.Enum):
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class AfaState:
+    """One AFA state.  Identified workload-wide by its integer ``sid``
+    (assigned in depth-first construction order — the paper's sort key).
+    """
+
+    __slots__ = (
+        "sid",
+        "kind",
+        "predicate",
+        "edges",
+        "eps",
+        "top_labels",
+        "eps_parents",
+        "rev",
+        "rank",
+        "owner",
+        "prec",
+    )
+
+    def __init__(self, sid: int, kind: StateKind, predicate: AtomicPredicate | None = None):
+        self.sid = sid
+        self.kind = kind
+        self.predicate = predicate
+        self.edges: dict[str, list[int]] = {}  # label -> target sids (δ)
+        self.eps: list[int] = []  # ε-successors
+        self.top_labels: set[str] = set()  # labels with an edge to ⊤
+        self.eps_parents: list[int] = []  # states with ε into self
+        self.rev: dict[str, tuple[int, ...]] = {}  # label -> source sids (δ⁻¹)
+        self.rank = 0  # ε-DAG topological rank (0 = no ε-successors)
+        self.owner = -1  # index of the owning AFA in the workload
+        self.prec: frozenset[int] = frozenset()  # order optimisation: must-precede siblings
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.predicate is not None
+
+    @property
+    def is_connective(self) -> bool:
+        """True when eval() may add this state (it has ε-successors)."""
+        return bool(self.eps)
+
+    def add_edge(self, label: str, target: int) -> None:
+        self.edges.setdefault(label, []).append(target)
+
+    def outgoing_labels(self) -> frozenset[str]:
+        """Labels on outgoing transitions (order optimisation, Sec. 5)."""
+        return frozenset(self.edges) | frozenset(self.top_labels)
+
+    def __repr__(self) -> str:
+        tag = self.kind.name
+        if self.is_terminal:
+            tag += f"[{self.predicate}]"
+        return f"<s{self.sid} {tag}>"
+
+
+@dataclass
+class AFA:
+    """One filter's automaton: its initial state, oid and metadata."""
+
+    oid: str
+    initial: int
+    source: str = ""
+    state_sids: tuple[int, ...] = ()
+    notification: int = -1  # first branching state (early notification)
+
+    def __repr__(self) -> str:
+        return f"AFA(oid={self.oid!r}, initial=s{self.initial}, states={len(self.state_sids)})"
+
+
+class WorkloadAutomata:
+    """All AFAs of a workload plus the global evaluation structures."""
+
+    def __init__(self) -> None:
+        self.states: list[AfaState] = []
+        self.afas: list[AFA] = []
+        self.top_by_label: dict[str, tuple[int, ...]] = {}
+        self.top_wild: tuple[int, ...] = ()
+        self.top_attr_wild: tuple[int, ...] = ()
+        self.not_sids: tuple[int, ...] = ()
+        self.terminals: tuple[int, ...] = ()
+        self.initial_sids: frozenset[int] = frozenset()
+        self._oid_by_initial: dict[int, list[str]] = {}
+        self._oid_by_notification: dict[int, list[str]] = {}
+        self._finalized = False
+
+    # -- construction-time API (used by repro.afa.build) ----------------
+
+    def new_state(self, kind: StateKind, predicate: AtomicPredicate | None = None) -> AfaState:
+        state = AfaState(len(self.states), kind, predicate)
+        self.states.append(state)
+        return state
+
+    def finalize(self) -> "WorkloadAutomata":
+        """Build reverse indexes, ranks and accept maps; call once after
+        all AFAs have been added."""
+        if self._finalized:
+            return self
+        top_by_label: dict[str, list[int]] = {}
+        rev: dict[int, dict[str, list[int]]] = {}
+        for state in self.states:
+            state.owner = state.owner  # placeholder for readability
+            for label, targets in state.edges.items():
+                for target in targets:
+                    rev.setdefault(target, {}).setdefault(label, []).append(state.sid)
+            for label in state.top_labels:
+                top_by_label.setdefault(label, []).append(state.sid)
+            for child in state.eps:
+                self.states[child].eps_parents.append(state.sid)
+        for target, by_label in rev.items():
+            self.states[target].rev = {
+                label: tuple(sorted(sources)) for label, sources in by_label.items()
+            }
+        self.top_by_label = {
+            label: tuple(sorted(sids)) for label, sids in top_by_label.items()
+        }
+        self.top_wild = self.top_by_label.get(WILDCARD, ())
+        self.top_attr_wild = self.top_by_label.get(ATTRIBUTE_WILDCARD, ())
+        self.not_sids = tuple(s.sid for s in self.states if s.kind is StateKind.NOT)
+        self.terminals = tuple(s.sid for s in self.states if s.is_terminal)
+        self.initial_sids = frozenset(afa.initial for afa in self.afas)
+        for afa in self.afas:
+            self._oid_by_initial.setdefault(afa.initial, []).append(afa.oid)
+            if afa.notification >= 0:
+                self._oid_by_notification.setdefault(afa.notification, []).append(afa.oid)
+        self._compute_ranks()
+        self._finalized = True
+        return self
+
+    def _compute_ranks(self) -> None:
+        """Topological rank over the ε-DAG: a connective's rank exceeds
+        all its ε-successors', so one ordered pass settles eval()."""
+        memo: dict[int, int] = {}
+
+        def rank_of(sid: int) -> int:
+            known = memo.get(sid)
+            if known is not None:
+                return known
+            state = self.states[sid]
+            value = 0 if not state.eps else 1 + max(rank_of(child) for child in state.eps)
+            memo[sid] = value
+            state.rank = value
+            return value
+
+        for state in self.states:
+            rank_of(state.sid)
+
+    # -- run-time API (used by the XPush machine) ------------------------
+
+    def eval_closure(self, qb: Iterable[int]) -> frozenset[int]:
+        """eval(q) of Sec. 3.2: saturate *qb* with all logically implied
+        connective states.  AND fires when all ε-successors are present,
+        OR when some is, NOT when its successor is absent.  Connectives
+        are visited in ε-rank order, so nested connectives — including
+        ``not(not(Q))`` — settle in one pass.
+        """
+        result = set(qb)
+        # Candidates: every NOT state (they fire on absence), plus the
+        # upward ε-closure of the present states and of the NOTs.
+        candidates: set[int] = set()
+        stack: list[int] = list(result)
+        stack.extend(self.not_sids)
+        candidates.update(self.not_sids)
+        seen: set[int] = set(stack)
+        states = self.states
+        while stack:
+            sid = stack.pop()
+            for parent in states[sid].eps_parents:
+                if parent not in seen:
+                    seen.add(parent)
+                    candidates.add(parent)
+                    stack.append(parent)
+        for sid in sorted(candidates, key=lambda s: states[s].rank):
+            state = states[sid]
+            if sid in result:
+                continue
+            if state.kind is StateKind.AND:
+                if all(child in result for child in state.eps):
+                    result.add(sid)
+            elif state.kind is StateKind.NOT:
+                if state.eps[0] not in result:
+                    result.add(sid)
+            elif state.eps:  # OR with ε-successors
+                if any(child in result for child in state.eps):
+                    result.add(sid)
+        return frozenset(result)
+
+    def delta_inverse(self, evaluated: Iterable[int], label: str, is_attribute: bool) -> set[int]:
+        """δ⁻¹(q, a) = {s' | δ(s', a) ∩ q ≠ ∅}, plus the ⊤-edge states
+        for *label* (an element labelled *a* closing always witnesses
+        existence edges on *a*)."""
+        wildcard = ATTRIBUTE_WILDCARD if is_attribute else WILDCARD
+        out: set[int] = set()
+        states = self.states
+        for sid in evaluated:
+            rev = states[sid].rev
+            sources = rev.get(label)
+            if sources:
+                out.update(sources)
+            sources = rev.get(wildcard)
+            if sources:
+                out.update(sources)
+        top = self.top_by_label.get(label)
+        if top:
+            out.update(top)
+        top = self.top_attr_wild if is_attribute else self.top_wild
+        if top:
+            out.update(top)
+        return out
+
+    def push_targets(self, enabled: Iterable[int], label: str, is_attribute: bool) -> set[int]:
+        """Forward step for top-down pruning: states enabled on a child
+        labelled *label* given the parent's enabled set (before closure)."""
+        wildcard = ATTRIBUTE_WILDCARD if is_attribute else WILDCARD
+        out: set[int] = set()
+        states = self.states
+        for sid in enabled:
+            edges = states[sid].edges
+            targets = edges.get(label)
+            if targets:
+                out.update(targets)
+            targets = edges.get(wildcard)
+            if targets:
+                out.update(targets)
+        return out
+
+    def epsilon_closure(self, sids: set[int]) -> frozenset[int]:
+        """close(q): add ε-successors repeatedly (top-down pruning)."""
+        stack = list(sids)
+        result = set(sids)
+        states = self.states
+        while stack:
+            sid = stack.pop()
+            for child in states[sid].eps:
+                if child not in result:
+                    result.add(child)
+                    stack.append(child)
+        return frozenset(result)
+
+    def accepted_oids(self, qb: Iterable[int]) -> frozenset[str]:
+        """t_accept: oids whose initial state is in *qb*."""
+        out: list[str] = []
+        for sid in self.initial_sids.intersection(qb):
+            out.extend(self._oid_by_initial[sid])
+        return frozenset(out)
+
+    def notified_oids(self, sids: Iterable[int]) -> frozenset[str]:
+        """Oids whose notification state occurs in *sids*."""
+        out: list[str] = []
+        by_notification = self._oid_by_notification
+        for sid in sids:
+            oids = by_notification.get(sid)
+            if oids:
+                out.extend(oids)
+        return frozenset(out)
+
+    def afa_states_of(self, oid_sids: Iterable[int]) -> set[int]:
+        """All sids belonging to the AFAs owning the given sids (used to
+        strip a notified filter's states from stored XPush states)."""
+        out: set[int] = set()
+        for sid in oid_sids:
+            afa = self.afas[self.states[sid].owner]
+            out.update(afa.state_sids)
+        return out
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    def describe(self) -> str:
+        lines = [f"workload: {len(self.afas)} AFAs, {len(self.states)} states"]
+        for afa in self.afas:
+            lines.append(f"  {afa!r}")
+        return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""The atomic predicate index of Sec. 2.
+
+Basic operation: *given a data value v, find which predicates from a
+given collection of atomic predicates are true on v*.  The paper uses a
+binary search tree over the predicate constants; we implement the same
+idea with sorted arrays and bisection:
+
+- the distinct **numeric** constants split the number line into
+  elementary intervals; every numeric predicate's truth is constant on
+  each interval, so an interval id is a complete *key* for the numeric
+  predicates;
+- the distinct **string** constants do the same for lexicographic
+  string comparisons;
+- ``contains`` predicates are resolved with an Aho–Corasick automaton
+  (the adaptation suggested in Sec. 2) and ``starts-with`` predicates
+  directly; the set of satisfied pattern ids joins the key.
+
+Two values with equal keys satisfy exactly the same predicates, so the
+XPush machine can memoise ``t_value`` per key — that is precisely what
+makes the machine's value transitions O(log m) + O(1) amortised.  The
+per-key answer is computed on first touch (lazily, like XPush states)
+and can be precomputed eagerly (Sec. 4, "State Precomputation").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Hashable, Iterable
+
+from repro.afa.ahocorasick import AhoCorasick
+from repro.afa.predicates import AtomicPredicate, canonical_value, parse_number
+
+
+class AtomicPredicateIndex:
+    """Maps data values to the set of satisfied predicate payloads.
+
+    Payloads are opaque hashable objects (the XPush machine stores AFA
+    terminal states).  Call :meth:`add` repeatedly, then :meth:`freeze`,
+    then :meth:`lookup` / :meth:`key_of`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[AtomicPredicate, Hashable]] = []
+        self._frozen = False
+        self._numeric_constants: list[float] = []
+        self._string_constants: list[str] = []
+        self._contains: list[tuple[int, Hashable]] = []  # (pattern id, payload)
+        self._starts_with: list[tuple[str, Hashable]] = []
+        self._matcher: AhoCorasick | None = None
+        self._cache: dict[Hashable, frozenset] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+
+    def add(self, predicate: AtomicPredicate, payload: Hashable) -> None:
+        if self._frozen:
+            raise RuntimeError("index is frozen")
+        self._entries.append((predicate, payload))
+
+    def freeze(self) -> "AtomicPredicateIndex":
+        """Build the search structures; the index becomes immutable."""
+        if self._frozen:
+            return self
+        numeric: set[float] = set()
+        strings: set[str] = set()
+        contains_patterns: list[str] = []
+        for predicate, payload in self._entries:
+            if predicate.is_true:
+                continue
+            if predicate.op == "contains":
+                self._contains.append((len(contains_patterns), payload))
+                contains_patterns.append(predicate.constant)
+            elif predicate.op == "starts-with":
+                self._starts_with.append((predicate.constant, payload))
+            elif predicate.is_numeric:
+                numeric.add(float(predicate.constant))
+            else:
+                strings.add(predicate.constant)
+        self._numeric_constants = sorted(numeric)
+        self._string_constants = sorted(strings)
+        if contains_patterns:
+            self._matcher = AhoCorasick(contains_patterns)
+        self._frozen = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def predicate_count(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def key_of(self, raw_value: str) -> Hashable:
+        """Canonical key: values with equal keys satisfy the same
+        predicates.  The key is cheap — O(log m) bisections plus one
+        Aho–Corasick scan when ``contains`` predicates exist."""
+        if not self._frozen:
+            raise RuntimeError("freeze() the index before lookups")
+        value = canonical_value(raw_value)
+        numeric_key: Hashable = None
+        number = parse_number(value)
+        if number is not None and self._numeric_constants:
+            numeric_key = self._interval_key(self._numeric_constants, number)
+        string_key: Hashable = None
+        if self._string_constants:
+            string_key = self._interval_key(self._string_constants, value)
+        substring_key: Hashable = None
+        if self._matcher is not None or self._starts_with:
+            matched = self._matcher.match_set(value) if self._matcher else frozenset()
+            prefixes = frozenset(
+                i for i, (prefix, _) in enumerate(self._starts_with) if value.startswith(prefix)
+            )
+            substring_key = (matched, prefixes)
+        return (numeric_key, string_key, substring_key)
+
+    @staticmethod
+    def _interval_key(constants: list, value) -> tuple[int, bool]:
+        """Elementary-interval id: (insertion point, exactly-on-constant)."""
+        position = bisect_left(constants, value)
+        on_constant = position < len(constants) and constants[position] == value
+        return (position, on_constant)
+
+    def lookup(self, raw_value: str) -> frozenset:
+        """All payloads whose predicate is true on *raw_value*."""
+        key = self.key_of(raw_value)
+        self.lookups += 1
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        value = canonical_value(raw_value)
+        result = frozenset(
+            payload for predicate, payload in self._entries if predicate.test(value)
+        )
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+
+    def precompute(self) -> int:
+        """Eagerly materialise the answer for every elementary interval
+        (Sec. 4 "State Precomputation").  Only exact for workloads
+        without substring predicates; returns the number of cached keys.
+        """
+        if not self._frozen:
+            raise RuntimeError("freeze() the index before precompute()")
+        if self._matcher is not None or self._starts_with:
+            return len(self._cache)  # substring keys are data-dependent
+        for representative in self._representatives(self._numeric_constants, numeric=True):
+            self.lookup(representative)
+        for representative in self._representatives(self._string_constants, numeric=False):
+            self.lookup(representative)
+        # The "matches nothing" key for non-numeric values.
+        self.lookup("\x00repro-no-such-value\x00")
+        return len(self._cache)
+
+    @staticmethod
+    def _representatives(constants: list, numeric: bool) -> Iterable[str]:
+        """One witness value inside every elementary interval.
+
+        For numbers: below the least constant, each constant itself,
+        each gap midpoint, above the greatest.  For strings: the empty
+        string (below everything), each constant, and each constant's
+        immediate successor ``c + "\\x00"`` (inside the gap above c, or
+        equal to the next constant when the gap is empty)."""
+        if not constants:
+            return
+        for i, constant in enumerate(constants):
+            if numeric:
+                yield repr(
+                    (constants[i - 1] + constant) / 2.0 if i else constant - 1.0
+                )
+                yield repr(constant)
+            else:
+                yield constants[i - 1] + "\x00" if i else ""
+                yield constant
+        if numeric:
+            yield repr(constants[-1] + 1.0)
+        else:
+            yield constants[-1] + "\x00"
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

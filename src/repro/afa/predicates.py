@@ -1,0 +1,126 @@
+"""Atomic predicates on data values (Sec. 2).
+
+The fragment compares an XPath expression against a constant with one of
+``= != < <= > >=`` over "a fixed, ordered domain V, which we will take
+to be V = int or V = string"; the Sec. 2 extension adds ``starts-with``
+and ``contains``.  This module is the *single* definition of comparison
+semantics in the library: the reference evaluator, the atomic predicate
+index (hence the XPush machine) and every baseline call
+:func:`compare`, so they cannot disagree.
+
+Value canonicalisation: XML text content is stripped of surrounding
+whitespace before testing (``<b> 1 </b>`` satisfies ``b/text() = 1``,
+as in the paper's running example); numeric constants are compared
+numerically when the value parses as a number and are otherwise false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+Constant = Union[int, float, str]
+
+#: Relational operators, keyed by surface syntax.
+RELATIONAL_OPS = ("=", "!=", "<", "<=", ">", ">=")
+STRING_OPS = ("starts-with", "contains")
+
+
+def canonical_value(raw: str) -> str:
+    """Canonical form of a text/attribute value before predicate tests."""
+    return raw.strip()
+
+
+def parse_number(value: str) -> float | None:
+    """Parse *value* as a number, or None when it is not numeric."""
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def _relational(left, op: str, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unknown relational operator {op!r}")
+
+
+def compare(raw_value: str, op: str, constant: Constant) -> bool:
+    """Truth of ``value op constant`` under the paper's semantics.
+
+    - numeric constant: the value must parse as a number, then compare
+      numerically;
+    - string constant with a relational operator: lexicographic string
+      comparison on the canonical value;
+    - ``starts-with`` / ``contains``: substring tests (constant must be
+      a string).
+    """
+    value = canonical_value(raw_value)
+    if op in STRING_OPS:
+        if not isinstance(constant, str):
+            raise ValueError(f"{op} requires a string constant")
+        if op == "starts-with":
+            return value.startswith(constant)
+        return constant in value
+    if isinstance(constant, (int, float)):
+        number = parse_number(value)
+        if number is None:
+            return False
+        return _relational(number, op, float(constant))
+    return _relational(value, op, constant)
+
+
+@dataclass(frozen=True, slots=True)
+class AtomicPredicate:
+    """One atomic predicate ``op constant`` (e.g. ``> 2``, ``= "x"``).
+
+    ``TRUE`` (the class attribute below) is the always-true predicate
+    the paper assumes for queries without an explicit comparison.
+    """
+
+    op: str
+    constant: Constant | None
+
+    def __post_init__(self):
+        if self.op == "true":
+            return
+        if self.op not in RELATIONAL_OPS + STRING_OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        if self.constant is None:
+            raise ValueError("comparison predicate requires a constant")
+
+    @property
+    def is_true(self) -> bool:
+        return self.op == "true"
+
+    @property
+    def is_numeric(self) -> bool:
+        return isinstance(self.constant, (int, float))
+
+    def test(self, raw_value: str) -> bool:
+        """π_s(v): truth of this predicate on a data value."""
+        if self.is_true:
+            return True
+        return compare(raw_value, self.op, self.constant)
+
+    def __str__(self) -> str:
+        if self.is_true:
+            return "true()"
+        if self.op in STRING_OPS:
+            return f'{self.op}(·, "{self.constant}")'
+        literal = f'"{self.constant}"' if isinstance(self.constant, str) else str(self.constant)
+        return f"{self.op} {literal}"
+
+
+# The singleton always-true predicate (π_s(v) = true for all v).
+AtomicPredicate.TRUE = AtomicPredicate("true", None)

@@ -1,0 +1,24 @@
+"""Baseline engines the paper contrasts the XPush machine with.
+
+- :class:`repro.baselines.naive.NaiveEngine` — evaluate each filter
+  separately on a DOM ("a naive approach … obviously doesn't scale");
+- :class:`repro.baselines.xfilter.PerQueryEngine` — one automaton per
+  query, all run in parallel over the stream, no sharing (the XFilter
+  execution model: "it builds a separate FSM for each query; as a
+  result it does not exploit commonality");
+- :class:`repro.baselines.yfilter.SharedPathEngine` — common *path
+  prefixes* shared in a trie, predicates evaluated separately per query
+  against a materialised document (the YFilter model: navigation
+  sharing only, "none of these systems detect common predicates"; note
+  it needs "direct access to the XML document", the limitation Sec. 1
+  points out for predicate-grouping approaches).
+
+All three return exactly the reference semantics; the differential
+tests hold every engine to the same answers.
+"""
+
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.xfilter import PerQueryEngine
+from repro.baselines.yfilter import SharedPathEngine
+
+__all__ = ["NaiveEngine", "PerQueryEngine", "SharedPathEngine"]

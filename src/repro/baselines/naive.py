@@ -1,0 +1,32 @@
+"""The naive baseline: evaluate every filter on every document.
+
+Sec. 1: "A naive approach to query evaluation, which computes each
+query separately, obviously doesn't scale."  This engine is that
+approach — the reference evaluator applied per (filter, document) —
+and doubles as the ground truth in the differential tests.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from repro.xmlstream.dom import Document, parse_forest
+from repro.xpath.ast import XPathFilter
+from repro.xpath.semantics import evaluate_filter
+
+
+class NaiveEngine:
+    """Per-query, per-document DOM evaluation."""
+
+    name = "naive"
+
+    def __init__(self, filters: Iterable[XPathFilter]):
+        self.filters = list(filters)
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        return frozenset(
+            f.oid for f in self.filters if evaluate_filter(f, document)
+        )
+
+    def filter_stream(self, text: str) -> list[frozenset[str]]:
+        return [self.filter_document(doc) for doc in parse_forest(text)]

@@ -1,0 +1,113 @@
+"""XFilter-style baseline: one automaton per query, no sharing.
+
+"The XFilter system was the first to define the problem … It builds a
+separate FSM for each query; as a result it does not exploit
+commonality that exists among the path expressions" (Sec. 1, Related
+Work).  This engine captures that execution model: each filter gets
+its own alternating automaton and its own predicate index, and all of
+them run the raw bottom-up stack algorithm over every SAX event with
+no interning, no memoisation and no cross-query sharing.
+
+Per event the cost is O(#queries), which is exactly why it loses to
+the XPush machine as workloads grow — the comparison
+``benchmarks/bench_baselines.py`` quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from repro.afa.automaton import WorkloadAutomata
+from repro.afa.build import build_workload_automata
+from repro.afa.index import AtomicPredicateIndex
+from repro.errors import MixedContentError
+from repro.xmlstream.dom import Document
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+    events_of_document,
+)
+from repro.xmlstream.parser import iterparse
+from repro.xpath.ast import XPathFilter
+
+
+class _QueryRunner:
+    """The un-memoised bottom-up algorithm for a single filter."""
+
+    __slots__ = ("workload", "index", "oid", "stack", "qb", "terminals")
+
+    def __init__(self, xpath_filter: XPathFilter):
+        self.workload: WorkloadAutomata = build_workload_automata([xpath_filter])
+        self.oid = xpath_filter.oid
+        self.index = AtomicPredicateIndex()
+        for sid in self.workload.terminals:
+            self.index.add(self.workload.states[sid].predicate, sid)
+        self.index.freeze()
+        self.terminals = frozenset(self.workload.terminals)
+        self.stack: list[frozenset[int]] = []
+        self.qb: frozenset[int] = frozenset()
+
+    def start_document(self) -> None:
+        self.stack = []
+        self.qb = frozenset()
+
+    def start_element(self, label: str) -> None:
+        if self.qb & self.terminals:
+            raise MixedContentError("mixed content")
+        self.stack.append(self.qb)
+        self.qb = frozenset()
+
+    def text(self, value: str) -> None:
+        self.qb = self.qb | self.index.lookup(value)
+
+    def end_element(self, label: str) -> None:
+        workload = self.workload
+        evaluated = workload.eval_closure(self.qb)
+        lifted = workload.delta_inverse(evaluated, label, label.startswith("@"))
+        parent = self.stack.pop()
+        self.qb = parent | lifted
+
+    def matched(self) -> bool:
+        return bool(self.workload.initial_sids & self.qb)
+
+
+class PerQueryEngine:
+    """Runs one independent automaton per filter over the stream."""
+
+    name = "xfilter"
+
+    def __init__(self, filters: Iterable[XPathFilter]):
+        self.runners = [_QueryRunner(f) for f in filters]
+
+    def process_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
+        results: list[frozenset[str]] = []
+        runners = self.runners
+        for event in events:
+            kind = type(event)
+            if kind is StartElement:
+                for runner in runners:
+                    runner.start_element(event.label)
+            elif kind is Text:
+                for runner in runners:
+                    runner.text(event.value)
+            elif kind is EndElement:
+                for runner in runners:
+                    runner.end_element(event.label)
+            elif kind is StartDocument:
+                for runner in runners:
+                    runner.start_document()
+            elif kind is EndDocument:
+                results.append(
+                    frozenset(r.oid for r in runners if r.matched())
+                )
+        return results
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        return self.process_events(events_of_document(document))[0]
+
+    def filter_stream(self, source: str | bytes | IO) -> list[frozenset[str]]:
+        return self.process_events(iterparse(source))

@@ -1,0 +1,36 @@
+"""Shared harness for the benchmark suite (one bench per paper figure).
+
+- :mod:`repro.bench.workloads` — standard workload/stream builders with
+  the paper's parameters, scaled for CPython via ``REPRO_BENCH_SCALE``;
+- :mod:`repro.bench.harness` — timed runs of each machine variant with
+  the counters the figures plot;
+- :mod:`repro.bench.reporting` — plain-text series tables printed by the
+  benches (the "same rows the paper's figures plot").
+"""
+
+from repro.bench.harness import (
+    VariantResult,
+    measure_parse_only,
+    run_variant,
+    timed,
+)
+from repro.bench.reporting import print_series_table, format_table
+from repro.bench.workloads import (
+    bench_scale,
+    scaled,
+    standard_stream,
+    standard_workload,
+)
+
+__all__ = [
+    "VariantResult",
+    "bench_scale",
+    "format_table",
+    "measure_parse_only",
+    "print_series_table",
+    "run_variant",
+    "scaled",
+    "standard_stream",
+    "standard_workload",
+    "timed",
+]

@@ -1,0 +1,71 @@
+"""Session-cached sweep data shared by the figure benchmarks.
+
+Figures 5/6/7 plot three metrics of the *same* runs (filtering time,
+state count, state size), as do Figures 9/10/11 for the k-sweep and the
+data-size sweep.  Computing each run once and letting every bench read
+its metric keeps the benchmark suite's wall-clock reasonable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.afa.build import build_workload_automata
+from repro.bench.harness import VariantResult, run_variant
+from repro.bench.workloads import (
+    PAPER_DATA_BYTES,
+    PAPER_QUERY_SWEEP,
+    scaled,
+    standard_stream,
+    standard_workload,
+)
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import variant_options
+
+#: Series of Figs. 5-7 (Fig. 5 adds the parse-only floor separately).
+FIG5_VARIANTS = ("basic", "TD", "TD-order", "TD-order-train", "TD-order-early-train")
+FIG6_VARIANTS = ("basic", "TD", "TD-order", "TD-order-train")
+
+
+def query_sweep(mean_predicates: float) -> tuple[int, ...]:
+    """The x-axis of Figs. 5-7: scaled versions of the paper's sweep.
+
+    At 1.15 predicates/query the paper sweeps 50k-200k queries; at
+    10.45 it sweeps 5k-20k (keeping total atomic predicates 50k-200k).
+    """
+    divisor = 1 if mean_predicates < 5 else 10
+    return tuple(scaled(q // divisor, minimum=10) for q in PAPER_QUERY_SWEEP)
+
+
+@lru_cache(maxsize=None)
+def _workload_automata(queries: int, mean_predicates: float, exact: int | None):
+    filters, dataset = standard_workload(
+        queries, mean_predicates=mean_predicates, exact_predicates=exact
+    )
+    return build_workload_automata(filters), dataset
+
+
+@lru_cache(maxsize=None)
+def sweep_point(
+    variant: str,
+    queries: int,
+    mean_predicates: float,
+    exact: int | None = None,
+    stream_bytes: int | None = None,
+) -> VariantResult:
+    """One (variant, workload, stream) measurement, cached per session."""
+    workload, dataset = _workload_automata(queries, mean_predicates, exact)
+    stream = standard_stream(stream_bytes or scaled(PAPER_DATA_BYTES, minimum=20_000))
+    return run_variant(variant, workload, stream, dtd=dataset.dtd)
+
+
+@lru_cache(maxsize=4)
+def warm_machine(queries: int, mean_predicates: float) -> tuple[XPushMachine, str]:
+    """A machine already run once over the standard stream — the
+    paper's "completed machine"; benchmarks time its second pass."""
+    workload, dataset = _workload_automata(queries, mean_predicates, None)
+    stream = standard_stream(scaled(PAPER_DATA_BYTES, minimum=20_000))
+    machine = XPushMachine(workload, variant_options("TD-order"), dtd=dataset.dtd)
+    machine.filter_stream(stream)
+    machine.clear_results()
+    return machine, stream

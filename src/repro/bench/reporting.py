@@ -1,0 +1,71 @@
+"""Plain-text tables for the benchmark output.
+
+Each figure bench prints one table whose rows are the figure's x-axis
+points and whose columns are its series — the same rows/series the
+paper plots, so EXPERIMENTS.md can compare shapes point by point.
+
+pytest captures stdout, so every table is *also* appended to
+``figures_output.txt`` in the working directory (truncated at the
+first table of each process); override the location with the
+``REPRO_REPORT_FILE`` environment variable, or disable with
+``REPRO_REPORT_FILE=``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+_report_initialised = False
+
+
+def _report_path() -> str | None:
+    path = os.environ.get("REPRO_REPORT_FILE", "figures_output.txt")
+    return path or None
+
+
+def _tee_to_report(text: str) -> None:
+    global _report_initialised
+    path = _report_path()
+    if path is None:
+        return
+    mode = "a" if _report_initialised else "w"
+    _report_initialised = True
+    try:
+        with open(path, mode, encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+    except OSError:
+        pass  # reporting must never break a benchmark run
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [title, "-" * len(title)]
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rendered_rows:
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_series_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    text = format_table(title, headers, rows)
+    print("\n" + text + "\n")
+    _tee_to_report(text)
+    return text
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)

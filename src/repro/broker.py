@@ -1,0 +1,160 @@
+"""A small XML message broker built on the XPush filtering engine.
+
+The motivating application of Sec. 1: a message-oriented middleware
+node where producers publish XML packets and consumers subscribe with
+XPath filters; "the broker's main task is to route the messages from
+producers to the consumers".  Each packet is filtered once by a single
+XPush machine regardless of how many subscriptions exist, and delivered
+to every subscriber whose filter matched.
+
+Subscription changes use the strategy of Sec. 8: insertions mark the
+machine *stale* and it is rebuilt lazily on the next publish (the
+"brute force" reset — equivalent to flushing a cache); the
+alternative layered-machine scheme the paper sketches is future work
+there and here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.xmlstream.dtd import DTD
+from repro.xmlstream.dom import Document
+from repro.xpath.parser import parse_xpath
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+from repro.afa.build import build_workload_automata
+
+Deliver = Callable[[str, Document], None]
+
+
+@dataclass
+class Subscription:
+    """One consumer's standing query."""
+
+    subscriber: str
+    xpath: str
+    oid: str = field(default="")
+
+
+class MessageBroker:
+    """Routes XML packets to subscribers via one shared XPush machine.
+
+    >>> broker = MessageBroker()
+    >>> broker.subscribe("alice", "//a[b/text() = 1]")
+    'sub0'
+    >>> inbox = []
+    >>> broker.on_deliver = lambda who, doc: inbox.append(who)
+    >>> broker.publish_text("<a><b>1</b></a>")
+    1
+    >>> inbox
+    ['alice']
+    """
+
+    def __init__(
+        self,
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+        incremental: bool = False,
+    ):
+        """*incremental* selects the update strategy of Sec. 8: False =
+        brute-force rebuild on change (flush the cache); True = keep a
+        warmed base machine and put new subscriptions in a small delta
+        layer (:class:`repro.xpush.layered.LayeredFilterEngine`)."""
+        self.options = options or XPushOptions(top_down=True, precompute_values=False)
+        self.dtd = dtd
+        self.incremental = incremental
+        self._subscriptions: dict[str, Subscription] = {}
+        self._machine: XPushMachine | None = None
+        self._layered = None
+        if incremental:
+            from repro.xpush.layered import LayeredFilterEngine
+
+            self._layered = LayeredFilterEngine([], self.options, dtd)
+        self._counter = 0
+        self.on_deliver: Deliver = lambda subscriber, document: None
+        self.delivered = 0
+        self.published = 0
+
+    # -- subscription management ----------------------------------------
+
+    def subscribe(self, subscriber: str, xpath: str) -> str:
+        """Register a filter; returns the subscription oid."""
+        oid = f"sub{self._counter}"
+        self._counter += 1
+        parse_xpath(xpath)  # validate eagerly, fail at subscribe time
+        self._subscriptions[oid] = Subscription(subscriber, xpath, oid)
+        if self._layered is not None:
+            self._layered.insert(oid, xpath)
+        else:
+            self._machine = None  # rebuild lazily (Sec. 8 brute-force path)
+        return oid
+
+    def unsubscribe(self, oid: str) -> None:
+        if oid not in self._subscriptions:
+            raise WorkloadError(f"unknown subscription {oid!r}")
+        del self._subscriptions[oid]
+        if self._layered is not None:
+            self._layered.remove(oid)
+        else:
+            self._machine = None
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    def _engine(self) -> XPushMachine:
+        if self._machine is None:
+            filters = [
+                parse_xpath(sub.xpath, oid) for oid, sub in self._subscriptions.items()
+            ]
+            self._machine = XPushMachine(
+                build_workload_automata(filters), self.options, dtd=self.dtd
+            )
+        return self._machine
+
+    # -- publishing -------------------------------------------------------
+
+    def publish(self, document: Document) -> int:
+        """Route one packet; returns the number of deliveries."""
+        if not self._subscriptions:
+            self.published += 1
+            return 0
+        if self._layered is not None:
+            matched = self._layered.filter_document(document)
+        else:
+            matched = self._engine().filter_document(document)
+        self.published += 1
+        count = 0
+        for oid in sorted(matched):
+            subscription = self._subscriptions.get(oid)
+            if subscription is not None:
+                self.on_deliver(subscription.subscriber, document)
+                count += 1
+        self.delivered += count
+        return count
+
+    def publish_text(self, xml_text: str) -> int:
+        """Parse and route every document in *xml_text*."""
+        from repro.xmlstream.dom import parse_forest
+
+        return sum(self.publish(doc) for doc in parse_forest(xml_text))
+
+    def stats(self) -> dict:
+        out = {
+            "subscriptions": len(self._subscriptions),
+            "published": self.published,
+            "delivered": self.delivered,
+        }
+        if self._layered is not None:
+            layered = self._layered.stats()
+            out["xpush_states"] = layered["base_states"] + layered["delta_states"]
+            out["hit_ratio"] = 0.0
+            out["layered"] = layered
+        else:
+            machine = self._machine
+            out["xpush_states"] = machine.state_count if machine else 0
+            out["hit_ratio"] = machine.stats.hit_ratio if machine else 0.0
+        return out

@@ -1,0 +1,332 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands:
+
+- ``filter`` — evaluate a workload of XPath filters over an XML stream
+  (the core use case: one line of oids per document);
+- ``generate-data`` — emit a synthetic Protein/NASA stream;
+- ``generate-queries`` — emit a synthetic workload for a dataset;
+- ``inspect`` — show how a filter parses and compiles (AST, AFA
+  summary, atomic predicates);
+- ``bench`` — a one-shot throughput measurement.
+
+Query files contain one filter per line, either bare XPath (oids are
+assigned ``q0, q1, …``) or ``oid <TAB> xpath``.  Blank lines and lines
+starting with ``#`` are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.afa.build import build_workload_automata
+from repro.errors import ReproError
+from repro.xmlstream.dtdparser import parse_dtd_file
+from repro.xpath.ast import count_atomic_predicates, is_linear
+from repro.xpath.parser import parse_xpath
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import VARIANTS, variant_options
+
+
+def _load_queries(path: str):
+    from repro.xpath.workload_io import load_workload
+
+    try:
+        return load_workload(path)
+    except ReproError as error:
+        raise ReproError(f"{path}: {error}") from None
+
+
+def _dataset(name: str, seed: int):
+    if name == "protein":
+        from repro.data import ProteinDataset
+
+        return ProteinDataset(seed=seed)
+    if name == "nasa":
+        from repro.data import NasaDataset
+
+        return NasaDataset(seed=seed)
+    if name == "auction":
+        from repro.data import AuctionDataset
+
+        return AuctionDataset(seed=seed)
+    raise ReproError(f"unknown dataset {name!r} (try protein, nasa or auction)")
+
+
+def _read_input(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_filter(args) -> int:
+    dtd = parse_dtd_file(args.dtd) if args.dtd else None
+    options = variant_options(args.variant)
+    if options.order and dtd is None:
+        raise ReproError(f"variant {args.variant!r} needs --dtd for the order optimisation")
+    if args.compiled and args.queries:
+        raise ReproError("pass either --queries or --compiled, not both")
+    if args.compiled:
+        from repro.xpush.persist import load_workload as load_compiled
+
+        workload = load_compiled(args.compiled)
+        filters = workload.afas  # for the count in the footer only
+    elif args.queries:
+        filters = _load_queries(args.queries)
+        workload = build_workload_automata(filters)
+    else:
+        raise ReproError("filter requires --queries or --compiled")
+    machine = XPushMachine(workload, options, dtd=dtd)
+    text = _read_input(args.input)
+    start = time.perf_counter()
+    results = machine.filter_stream(text)
+    elapsed = time.perf_counter() - start
+    for i, matched in enumerate(results):
+        print(f"{i}\t{','.join(sorted(matched)) or '-'}")
+    megabytes = len(text.encode("utf-8")) / 1e6
+    print(
+        f"# {len(results)} documents, {len(filters)} filters, "
+        f"{elapsed:.3f}s ({megabytes / elapsed if elapsed else 0:.2f} MB/s), "
+        f"{machine.state_count} states, hit ratio {machine.stats.hit_ratio:.1%}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_generate_data(args) -> int:
+    dataset = _dataset(args.dataset, args.seed)
+    if args.bytes:
+        text = dataset.stream_of_bytes(args.bytes)
+    else:
+        text = dataset.stream_text(args.documents, indent=2 if args.pretty else None)
+    if args.out and args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# wrote {len(text.encode('utf-8'))} bytes to {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_generate_queries(args) -> int:
+    from repro.xpath.generator import GeneratorConfig, QueryGenerator
+
+    dataset = _dataset(args.dataset, args.seed)
+    config = GeneratorConfig(
+        seed=args.seed,
+        mean_predicates=args.mean_predicates,
+        exact_predicates=args.exact_predicates,
+        prob_wildcard=args.prob_wildcard,
+        prob_descendant=args.prob_descendant,
+        prob_or=args.prob_or,
+        prob_not=args.prob_not,
+        prob_nested=args.prob_nested,
+        prob_string_function=args.prob_string_function,
+    )
+    generator = QueryGenerator(dataset.dtd, dataset.value_pool, config)
+    out = sys.stdout
+    close = False
+    if args.out and args.out != "-":
+        out = open(args.out, "w", encoding="utf-8")
+        close = True
+    try:
+        for f in generator.generate(args.count):
+            out.write(f"{f.oid}\t{f.source}\n")
+    finally:
+        if close:
+            out.close()
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    xpath_filter = parse_xpath(args.query, "q")
+    path = xpath_filter.path
+    print(f"source      : {args.query}")
+    print(f"normalised  : {path}")
+    print(f"steps       : {len(path.steps)}")
+    print(f"atomic preds: {count_atomic_predicates(path)}")
+    print(f"linear      : {is_linear(path)}")
+    workload = build_workload_automata([xpath_filter])
+    afa = workload.afas[0]
+    print(f"AFA states  : {len(afa.state_sids)}")
+    kinds = {}
+    for sid in afa.state_sids:
+        state = workload.states[sid]
+        label = state.kind.name + ("/terminal" if state.is_terminal else "")
+        kinds[label] = kinds.get(label, 0) + 1
+    for label in sorted(kinds):
+        print(f"  {label:<13} {kinds[label]}")
+    note = workload.states[afa.notification]
+    print(f"notification: s{afa.notification} ({note.kind.name})")
+    if args.verbose:
+        print("transitions :")
+        for sid in afa.state_sids:
+            state = workload.states[sid]
+            for label, targets in sorted(state.edges.items()):
+                for target in targets:
+                    print(f"  s{sid} --{label}--> s{target}")
+            for child in state.eps:
+                print(f"  s{sid} --ε--> s{child}")
+            for label in sorted(state.top_labels):
+                print(f"  s{sid} --{label}--> ⊤")
+            if state.is_terminal:
+                print(f"  s{sid}: π = {state.predicate}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from repro.xpush.persist import save_workload
+
+    filters = _load_queries(args.queries)
+    workload = build_workload_automata(filters)
+    save_workload(workload, args.out)
+    print(
+        f"# compiled {len(workload.afas)} filters "
+        f"({workload.state_count} AFA states) to {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.xpath.analysis import most_shared_predicates, profile_workload
+    from repro.xpath.dedupe import DeduplicatedWorkload
+
+    filters = _load_queries(args.queries)
+    profile = profile_workload(filters)
+    dedup = DeduplicatedWorkload(filters)
+    print(profile.describe())
+    print(
+        f"duplicate filters: {dedup.duplicates_removed} "
+        f"({dedup.class_count} equivalence classes)"
+    )
+    print(f"max predicates in one query: {profile.max_predicates_in_one_query}")
+    top = most_shared_predicates(filters, top=args.top)
+    if top:
+        print("most shared atomic predicates:")
+        for (path, op, constant), count in top:
+            const = "" if constant is None else f" {constant!r}"
+            print(f"  {count:>5}x  {path} {op}{const}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.xpath.generator import GeneratorConfig, QueryGenerator
+
+    dataset = _dataset(args.dataset, args.seed)
+    generator = QueryGenerator(
+        dataset.dtd,
+        dataset.value_pool,
+        GeneratorConfig(seed=args.seed, mean_predicates=args.mean_predicates),
+    )
+    filters = generator.generate(args.queries)
+    stream = dataset.stream_of_bytes(args.bytes)
+    megabytes = len(stream.encode("utf-8")) / 1e6
+    workload = build_workload_automata(filters)
+    machine = XPushMachine(
+        workload, variant_options(args.variant), dtd=dataset.dtd
+    )
+    start = time.perf_counter()
+    machine.filter_stream(stream)
+    cold = time.perf_counter() - start
+    machine.clear_results()
+    start = time.perf_counter()
+    machine.filter_stream(stream)
+    warm = time.perf_counter() - start
+    print(f"variant={args.variant} queries={args.queries} data={megabytes:.2f}MB")
+    print(f"cold: {cold:.3f}s ({megabytes / cold:.2f} MB/s)")
+    print(f"warm: {warm:.3f}s ({megabytes / warm:.2f} MB/s)")
+    print(f"states={machine.state_count} avg_size={machine.average_state_size:.1f} "
+          f"hit_ratio={machine.stats.hit_ratio:.1%}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XPush machine: stream processing of XPath queries with predicates",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("filter", help="filter an XML stream with a query file")
+    p.add_argument("--queries", help="query file (oid<TAB>xpath per line)")
+    p.add_argument("--compiled", help="compiled workload (see `compile`) instead of --queries")
+    p.add_argument("--input", default="-", help="XML stream file, or - for stdin")
+    p.add_argument("--variant", default="TD", choices=sorted(VARIANTS))
+    p.add_argument("--dtd", help="DTD file (needed for order/training variants)")
+    p.set_defaults(func=cmd_filter)
+
+    p = sub.add_parser("compile", help="pre-compile a query file to a workload JSON")
+    p.add_argument("--queries", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("analyze", help="profile a workload's sharing structure")
+    p.add_argument("--queries", required=True)
+    p.add_argument("--top", type=int, default=10, help="how many shared predicates to list")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("generate-data", help="emit a synthetic XML stream")
+    p.add_argument("--dataset", default="protein", choices=["protein", "nasa", "auction"])
+    p.add_argument("--documents", type=int, default=10)
+    p.add_argument("--bytes", type=int, help="target size instead of a document count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pretty", action="store_true")
+    p.add_argument("--out", default="-")
+    p.set_defaults(func=cmd_generate_data)
+
+    p = sub.add_parser("generate-queries", help="emit a synthetic workload")
+    p.add_argument("--dataset", default="protein", choices=["protein", "nasa", "auction"])
+    p.add_argument("--count", type=int, default=100)
+    p.add_argument("--mean-predicates", type=float, default=1.15)
+    p.add_argument("--exact-predicates", type=int)
+    p.add_argument("--prob-wildcard", type=float, default=0.0)
+    p.add_argument("--prob-descendant", type=float, default=0.0)
+    p.add_argument("--prob-or", type=float, default=0.0)
+    p.add_argument("--prob-not", type=float, default=0.0)
+    p.add_argument("--prob-nested", type=float, default=0.0)
+    p.add_argument("--prob-string-function", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="-")
+    p.set_defaults(func=cmd_generate_queries)
+
+    p = sub.add_parser("inspect", help="show how one filter compiles")
+    p.add_argument("query")
+    p.add_argument("--verbose", "-v", action="store_true")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("bench", help="one-shot throughput measurement")
+    p.add_argument("--dataset", default="protein", choices=["protein", "nasa", "auction"])
+    p.add_argument("--queries", type=int, default=500)
+    p.add_argument("--mean-predicates", type=float, default=1.15)
+    p.add_argument("--bytes", type=int, default=100_000)
+    p.add_argument("--variant", default="TD-order-train", choices=sorted(VARIANTS))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

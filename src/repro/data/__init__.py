@@ -1,0 +1,26 @@
+"""Synthetic datasets standing in for the paper's Protein and NASA data.
+
+Sec. 7 runs on a 9.12 MB fragment of the PIR Protein dataset
+(non-recursive DTD, maximum document depth 7) and on the NASA ADC
+dataset (recursive DTD, maximum depth 8).  Neither is available
+offline, so this package generates structurally equivalent synthetic
+streams: same depth/recursion profile, realistic fan-out and value
+distributions, and — crucially for the experiments — *value pools* the
+query generator draws predicate constants from, so every generated
+predicate is satisfiable on the data (exactly how the paper's modified
+YFilter generator worked).  Everything is seeded and deterministic.
+"""
+
+from repro.data.auction import AuctionDataset, auction_dtd
+from repro.data.dtds import nasa_dtd, protein_dtd
+from repro.data.nasa import NasaDataset
+from repro.data.protein import ProteinDataset
+
+__all__ = [
+    "AuctionDataset",
+    "NasaDataset",
+    "ProteinDataset",
+    "auction_dtd",
+    "nasa_dtd",
+    "protein_dtd",
+]

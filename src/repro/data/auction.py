@@ -1,0 +1,153 @@
+"""Synthetic auction-site dataset (XMark-flavoured).
+
+A third dataset beyond the paper's two, with a deliberately different
+stress profile: deeper recursion than NASA (nested ``description`` via
+``parlist``/``listitem``), attribute-heavy elements, and hub elements
+(``item``) referenced from several contexts.  Used by the differential
+tests to exercise the machine on shapes the Protein/NASA generators
+rarely produce; not part of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.xmlstream.dom import Document
+from repro.xmlstream.dtd import (
+    DTD,
+    AttributeDecl,
+    ElementDecl,
+    PCDATA,
+    choice,
+    elem,
+    seq,
+)
+from repro.xmlstream.writer import document_to_xml
+from repro.data.pools import PoolDrawer, integer_pool, synthetic_words
+
+MAX_DEPTH = 10
+
+
+def auction_dtd() -> DTD:
+    """Recursive, attribute-heavy DTD (XMark-like)."""
+    declarations = [
+        ElementDecl("site", seq(elem("regions"), elem("people"), elem("auctions"))),
+        ElementDecl("regions", seq(elem("region", "+"))),
+        ElementDecl(
+            "region",
+            seq(elem("item", "*")),
+            (AttributeDecl("name", required=True),),
+        ),
+        ElementDecl(
+            "item",
+            seq(
+                elem("name"),
+                elem("payment", "?"),
+                elem("description", "?"),
+                elem("mailbox", "?"),
+            ),
+            (AttributeDecl("id", required=True), AttributeDecl("featured")),
+        ),
+        ElementDecl("name", PCDATA),
+        ElementDecl("payment", PCDATA),
+        # The recursion: description → (text | parlist), parlist →
+        # listitem+, listitem → (text | parlist).
+        ElementDecl("description", choice(elem("text"), elem("parlist"))),
+        ElementDecl("parlist", seq(elem("listitem", "+"))),
+        ElementDecl("listitem", choice(elem("text"), elem("parlist"))),
+        ElementDecl("text", PCDATA),
+        ElementDecl("mailbox", seq(elem("mail", "*"))),
+        ElementDecl("mail", seq(elem("from"), elem("date"), elem("text"))),
+        ElementDecl("from", PCDATA),
+        ElementDecl("date", PCDATA),
+        ElementDecl("people", seq(elem("person", "*"))),
+        ElementDecl(
+            "person",
+            seq(elem("name"), elem("emailaddress", "?"), elem("profile", "?")),
+            (AttributeDecl("id", required=True),),
+        ),
+        ElementDecl("emailaddress", PCDATA),
+        ElementDecl(
+            "profile",
+            seq(elem("interest", "*"), elem("age", "?")),
+            (AttributeDecl("income"),),
+        ),
+        ElementDecl("interest", PCDATA, (AttributeDecl("category", required=True),)),
+        ElementDecl("age", PCDATA),
+        ElementDecl("auctions", seq(elem("auction", "*"))),
+        ElementDecl(
+            "auction",
+            seq(elem("current"), elem("bidder", "*")),
+            (AttributeDecl("open", required=True),),
+        ),
+        ElementDecl("current", PCDATA),
+        ElementDecl("bidder", seq(elem("date"), elem("increase"))),
+        ElementDecl("increase", PCDATA),
+    ]
+    return DTD("site", declarations)
+
+
+def _build_pools(seed: int) -> dict[str, list[str]]:
+    words = synthetic_words(250, seed + 300)
+    names = synthetic_words(150, seed + 301, (2, 3))
+    return {
+        "@name": ["africa", "asia", "australia", "europe", "namerica", "samerica"],
+        "@id": [f"i{i:05d}" for i in range(1500)],
+        "@featured": ["yes", "no"],
+        "name": names,
+        "payment": ["cash", "check", "wire", "card"],
+        "text": words,
+        "from": names,
+        "date": [f"2002-{m:02d}-{d:02d}" for m in range(1, 13) for d in (3, 17)],
+        "emailaddress": [f"{w}@example.net" for w in names[:80]],
+        "@income": integer_pool(10_000, 120_000, 100, seed + 302),
+        "@category": [f"c{i}" for i in range(25)],
+        "age": integer_pool(18, 80, 45, seed + 303),
+        "@open": ["yes", "no"],
+        "current": integer_pool(1, 5000, 300, seed + 304),
+        "increase": integer_pool(1, 250, 80, seed + 305),
+    }
+
+
+class AuctionDataset:
+    """Seeded generator for the auction stream (deep recursion)."""
+
+    name = "auction"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.dtd = auction_dtd()
+        self.value_pool = _build_pools(seed)
+        self._drawer = PoolDrawer(self.value_pool)
+
+    def documents(self, count: int) -> Iterator[Document]:
+        rng = random.Random(self.seed)
+        for _ in range(count):
+            yield self.dtd.generate(
+                rng,
+                self._drawer.text_for,
+                max_depth=MAX_DEPTH,
+                repeat_mean=1.6,
+                optional_probability=0.55,
+            )
+
+    def stream_text(self, count: int, indent: int | None = None) -> str:
+        return "".join(document_to_xml(d, indent) for d in self.documents(count))
+
+    def stream_of_bytes(self, target_bytes: int) -> str:
+        pieces: list[str] = []
+        total = 0
+        rng = random.Random(self.seed)
+        while total < target_bytes:
+            doc = self.dtd.generate(
+                rng,
+                self._drawer.text_for,
+                max_depth=MAX_DEPTH,
+                repeat_mean=1.6,
+                optional_probability=0.55,
+            )
+            text = document_to_xml(doc)
+            pieces.append(text)
+            total += len(text.encode("utf-8"))
+        return "".join(pieces)

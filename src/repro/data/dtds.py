@@ -1,0 +1,182 @@
+"""DTD definitions for the synthetic Protein and NASA datasets.
+
+``protein_dtd()`` mimics the PIR Protein Sequence Database XML export:
+**non-recursive**, element-nesting depth 7 along
+``ProteinDatabase/ProteinEntry/reference/refinfo/authors/author/lastname``,
+with attributes on entries, features and summaries.
+
+``nasa_dtd()`` mimics the NASA ADC astronomical dataset export:
+**recursive** (``description`` can contain ``description``), depth
+capped at 8 by the generator.
+"""
+
+from __future__ import annotations
+
+from repro.xmlstream.dtd import (
+    DTD,
+    AttributeDecl,
+    ContentParticle,
+    ElementDecl,
+    EMPTY,
+    PCDATA,
+    choice,
+    elem,
+    seq,
+)
+
+
+def _leaf(name: str, *attrs: AttributeDecl) -> ElementDecl:
+    return ElementDecl(name, PCDATA, tuple(attrs))
+
+
+def protein_dtd() -> DTD:
+    """Non-recursive DTD, max element depth 7 (paper's Protein data)."""
+    declarations = [
+        ElementDecl("ProteinDatabase", seq(elem("ProteinEntry", "+"))),
+        ElementDecl(
+            "ProteinEntry",
+            seq(
+                elem("header"),
+                elem("protein"),
+                elem("organism"),
+                elem("reference", "+"),
+                elem("genetics", "?"),
+                elem("classification", "?"),
+                elem("keywords", "?"),
+                elem("feature", "*"),
+                elem("summary"),
+                elem("sequence"),
+            ),
+            (AttributeDecl("id", required=True),),
+        ),
+        ElementDecl(
+            "header",
+            seq(elem("uid"), elem("accession", "+"), elem("created", "?")),
+        ),
+        _leaf("uid"),
+        _leaf("accession"),
+        _leaf("created", AttributeDecl("date", required=True)),
+        ElementDecl("protein", seq(elem("name"), elem("source", "?"))),
+        _leaf("name"),
+        _leaf("source"),
+        ElementDecl(
+            "organism",
+            seq(elem("formal"), elem("common", "?"), elem("variety", "?")),
+        ),
+        _leaf("formal"),
+        _leaf("common"),
+        _leaf("variety"),
+        ElementDecl("reference", seq(elem("refinfo"), elem("accinfo", "?"))),
+        ElementDecl(
+            "refinfo",
+            seq(elem("authors"), elem("citation"), elem("title", "?"), elem("year")),
+            (AttributeDecl("refid", required=True),),
+        ),
+        ElementDecl("authors", seq(elem("author", "+"))),
+        ElementDecl("author", seq(elem("lastname"), elem("initials", "?"))),
+        _leaf("lastname"),
+        _leaf("initials"),
+        _leaf("citation", AttributeDecl("volume"), AttributeDecl("pages")),
+        _leaf("title"),
+        _leaf("year"),
+        ElementDecl("accinfo", seq(elem("mol-type", "?"), elem("seq-spec", "?"))),
+        _leaf("mol-type"),
+        _leaf("seq-spec"),
+        ElementDecl(
+            "genetics",
+            seq(elem("gene", "+"), elem("codon", "?")),
+            (AttributeDecl("intron"),),
+        ),
+        _leaf("gene"),
+        _leaf("codon"),
+        ElementDecl("classification", seq(elem("superfamily", "+"))),
+        _leaf("superfamily"),
+        ElementDecl("keywords", seq(elem("keyword", "+"))),
+        _leaf("keyword"),
+        ElementDecl(
+            "feature",
+            seq(elem("description", "?"), elem("feature-spec")),
+            (AttributeDecl("feature-type", required=True),),
+        ),
+        _leaf("description"),
+        _leaf("feature-spec"),
+        _leaf(
+            "summary",
+            AttributeDecl("length", required=True),
+            AttributeDecl("type"),
+        ),
+        _leaf("sequence"),
+    ]
+    return DTD("ProteinDatabase", declarations)
+
+
+def nasa_dtd() -> DTD:
+    """Recursive DTD, generation capped at depth 8 (paper's NASA data).
+
+    The recursion is ``description → para* , description?`` plus
+    ``tableHead → field+`` with fields owning nested descriptions.
+    """
+    declarations = [
+        ElementDecl(
+            "datasets",
+            seq(elem("dataset", "+")),
+        ),
+        ElementDecl(
+            "dataset",
+            seq(
+                elem("title"),
+                elem("altname", "*"),
+                elem("reference", "*"),
+                elem("keywords", "?"),
+                elem("descriptions", "?"),
+                elem("tableHead", "?"),
+                elem("history", "?"),
+                elem("identifier"),
+            ),
+            (AttributeDecl("subject", required=True), AttributeDecl("xmlns")),
+        ),
+        _leaf("title"),
+        _leaf("altname", AttributeDecl("type")),
+        ElementDecl(
+            "reference",
+            seq(elem("source", "?"), elem("other", "?")),
+        ),
+        ElementDecl("source", seq(elem("journal", "?"), elem("author", "*"), elem("year", "?"))),
+        _leaf("journal", AttributeDecl("volume")),
+        ElementDecl("author", seq(elem("lastname"), elem("initial", "?"))),
+        _leaf("lastname"),
+        _leaf("initial"),
+        _leaf("year"),
+        _leaf("other"),
+        ElementDecl("keywords", seq(elem("keyword", "+")), (AttributeDecl("parentListURL"),)),
+        _leaf("keyword"),
+        ElementDecl("descriptions", seq(elem("description", "+"))),
+        ElementDecl(
+            "description",
+            seq(elem("para", "*"), elem("description", "?")),  # recursive
+        ),
+        _leaf("para"),
+        ElementDecl("tableHead", seq(elem("tableLinks", "?"), elem("field", "+"))),
+        ElementDecl("tableLinks", seq(elem("tableLink", "+"))),
+        _leaf("tableLink", AttributeDecl("sectionLinkURL")),
+        ElementDecl(
+            "field",
+            seq(elem("name"), elem("definition", "?")),
+            (AttributeDecl("unit"),),
+        ),
+        _leaf("name"),
+        _leaf("definition"),
+        ElementDecl(
+            "history",
+            seq(elem("creator", "?"), elem("revision", "*")),
+        ),
+        _leaf("creator"),
+        ElementDecl(
+            "revision",
+            seq(elem("date"), elem("editor"), elem("para", "?")),
+        ),
+        _leaf("date"),
+        _leaf("editor"),
+        _leaf("identifier"),
+    ]
+    return DTD("datasets", declarations)

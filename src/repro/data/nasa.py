@@ -1,0 +1,93 @@
+"""Synthetic NASA dataset (substitute for the ADC export of Sec. 7).
+
+Recursive DTD (``description`` nests), generation capped at depth 8 —
+matching the paper's "NASA dataset has a recursive DTD, with maximum
+document depth equal to 8".  The paper reports that its NASA results
+were similar to Protein; the benchmarks accept either dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.xmlstream.dom import Document
+from repro.xmlstream.dtd import DTD
+from repro.xmlstream.writer import document_to_xml
+from repro.data.dtds import nasa_dtd
+from repro.data.pools import PoolDrawer, integer_pool, synthetic_words
+
+MAX_DEPTH = 8
+
+
+def _build_pools(seed: int) -> dict[str, list[str]]:
+    words = synthetic_words(300, seed + 100)
+    names = synthetic_words(180, seed + 101, (2, 3))
+    return {
+        "title": [f"survey of {w}" for w in words[:120]],
+        "altname": words[:80],
+        "@type": ["ADC", "CDS", "brief"],
+        "journal": [f"ApJ-{w}" for w in synthetic_words(40, seed + 102, (2, 2))],
+        "@volume": integer_pool(1, 500, 120, seed + 103),
+        "lastname": names,
+        "initial": [f"{c}." for c in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"],
+        "year": integer_pool(1950, 2002, 53, seed + 104),
+        "other": words[:50],
+        "keyword": synthetic_words(70, seed + 105, (2, 3)),
+        "@parentListURL": [f"/lists/{i}" for i in range(20)],
+        "para": words,
+        "tableLink": words[:30],
+        "@sectionLinkURL": [f"#sec{i}" for i in range(30)],
+        "name": names,
+        "definition": words,
+        "@unit": ["mag", "deg", "arcsec", "mJy", "km/s"],
+        "creator": names,
+        "date": [f"{y}-{m:02d}" for y in range(1990, 2003) for m in (1, 6)],
+        "editor": names,
+        "identifier": [f"ADC-{i:04d}" for i in range(800)],
+        "@subject": ["astrometry", "photometry", "spectroscopy", "catalog", "survey"],
+        "@xmlns": ["http://adc.example/ns"],
+    }
+
+
+class NasaDataset:
+    """Seeded generator for the synthetic NASA stream (recursive DTD)."""
+
+    name = "nasa"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.dtd: DTD = nasa_dtd()
+        self.value_pool = _build_pools(seed)
+        self._drawer = PoolDrawer(self.value_pool)
+
+    def documents(self, count: int) -> Iterator[Document]:
+        rng = random.Random(self.seed)
+        for _ in range(count):
+            yield self.dtd.generate(
+                rng,
+                self._drawer.text_for,
+                max_depth=MAX_DEPTH,
+                repeat_mean=1.5,
+                optional_probability=0.5,
+            )
+
+    def stream_text(self, count: int, indent: int | None = None) -> str:
+        return "".join(document_to_xml(doc, indent) for doc in self.documents(count))
+
+    def stream_of_bytes(self, target_bytes: int) -> str:
+        pieces: list[str] = []
+        total = 0
+        rng = random.Random(self.seed)
+        while total < target_bytes:
+            doc = self.dtd.generate(
+                rng,
+                self._drawer.text_for,
+                max_depth=MAX_DEPTH,
+                repeat_mean=1.5,
+                optional_probability=0.5,
+            )
+            text = document_to_xml(doc)
+            pieces.append(text)
+            total += len(text.encode("utf-8"))
+        return "".join(pieces)

@@ -1,0 +1,70 @@
+"""Deterministic value-pool machinery shared by the synthetic datasets.
+
+A *value pool* maps a leaf element label or ``@name`` attribute label to
+the finite list of values the data generator draws from.  Finite pools
+matter twice: they give atomic predicates realistic, controllable
+selectivity (Theorem 6.2's σ), and they let the query generator pick
+constants guaranteed to occur in the data — the paper's requirement
+that "each predicate is true on at least some XML document".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+_SYLLABLES = (
+    "an", "ar", "bel", "cor", "dan", "el", "fer", "gal", "hu", "in",
+    "jor", "kel", "lor", "mar", "nor", "or", "pel", "qui", "ral", "sol",
+    "tan", "ur", "vel", "wen", "xan", "yor", "zel",
+)
+
+
+def synthetic_words(count: int, seed: int, syllables: tuple[int, int] = (2, 4)) -> list[str]:
+    """*count* pronounceable pseudo-words, deterministically from *seed*."""
+    rng = random.Random(seed)
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < count:
+        word = "".join(
+            rng.choice(_SYLLABLES) for _ in range(rng.randint(*syllables))
+        )
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+def integer_pool(low: int, high: int, count: int, seed: int) -> list[str]:
+    """*count* distinct integers in [low, high], as strings."""
+    rng = random.Random(seed)
+    span = high - low + 1
+    if count >= span:
+        return [str(v) for v in range(low, high + 1)]
+    values = rng.sample(range(low, high + 1), count)
+    return [str(v) for v in sorted(values)]
+
+
+class PoolDrawer:
+    """Draws generation values from pools with a Zipf-ish skew.
+
+    Real text values are not uniform; a mild skew makes predicate
+    selectivities heterogeneous, like the paper's real datasets.
+    """
+
+    def __init__(self, pools: Mapping[str, Sequence[str]], skew: float = 1.2):
+        self.pools = {label: list(values) for label, values in pools.items()}
+        self.skew = skew
+
+    def draw(self, label: str, rng: random.Random) -> str:
+        pool = self.pools.get(label)
+        if not pool:
+            return "0"
+        # Power-law index: small indexes are proportionally more likely.
+        u = rng.random()
+        index = int(len(pool) * (u ** self.skew))
+        return pool[min(index, len(pool) - 1)]
+
+    def text_for(self, label: str, rng: random.Random) -> str:
+        """Adapter matching the DTD generator's ``text_for`` callback."""
+        return self.draw(label, rng)

@@ -1,0 +1,114 @@
+"""Synthetic Protein dataset (substitute for the PIR export of Sec. 7).
+
+Structure comes from :func:`repro.data.dtds.protein_dtd` (non-recursive,
+max depth 7); values come from seeded pools sized to give predicates
+low, heterogeneous selectivities (the regime of Theorem 6.2).  The
+stream is a sequence of single-entry ``ProteinDatabase`` documents —
+XML packets, as in the message-broker setting of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.xmlstream.dom import Document
+from repro.xmlstream.dtd import DTD
+from repro.xmlstream.writer import document_to_xml
+from repro.data.dtds import protein_dtd
+from repro.data.pools import PoolDrawer, integer_pool, synthetic_words
+
+
+def _build_pools(seed: int) -> dict[str, list[str]]:
+    words = synthetic_words(400, seed)
+    names = synthetic_words(240, seed + 1, (2, 3))
+    organisms = synthetic_words(80, seed + 2, (3, 4))
+    keywords = synthetic_words(60, seed + 3, (2, 3))
+    journals = [f"J-{w}" for w in synthetic_words(50, seed + 4, (2, 2))]
+    rng = random.Random(seed + 5)
+    sequences = [
+        "".join(rng.choice("ACDEFGHIKLMNPQRSTVWY") for _ in range(rng.randint(30, 120)))
+        for _ in range(200)
+    ]
+    return {
+        "uid": [f"P{i:05d}" for i in range(500)],
+        "accession": [f"A{i:05d}" for i in range(700)],
+        "@date": [f"{d:02d}-{m:02d}-{y}" for d, m, y in
+                  zip(range(1, 29), list(range(1, 13)) * 3, range(1975, 2003))],
+        "name": names,
+        "source": organisms,
+        "formal": organisms,
+        "common": organisms,
+        "variety": words[:60],
+        "lastname": names,
+        "initials": [f"{c}." for c in "ABCDEFGHIJKLMNOPQRSTUVWXYZ"],
+        "citation": journals,
+        "@volume": integer_pool(1, 300, 150, seed + 6),
+        "@pages": integer_pool(1, 2000, 200, seed + 7),
+        "title": words,
+        "year": integer_pool(1970, 2002, 33, seed + 8),
+        "mol-type": ["DNA", "mRNA", "protein", "rRNA"],
+        "seq-spec": integer_pool(1, 900, 120, seed + 9),
+        "gene": names,
+        "codon": ["AUG", "UAA", "UAG", "UGA", "GCU", "UGG"],
+        "superfamily": words[:100],
+        "keyword": keywords,
+        "description": words,
+        "feature-spec": integer_pool(1, 500, 100, seed + 10),
+        "@feature-type": ["domain", "binding-site", "modified-site", "disulfide-bond", "product"],
+        "summary": words[:40],
+        "@length": integer_pool(50, 3000, 250, seed + 11),
+        "@type": ["complete", "fragment", "precursor"],
+        "sequence": sequences,
+        "@id": [f"PE{i:06d}" for i in range(2000)],
+        "@refid": integer_pool(1, 999, 300, seed + 12),
+        "@intron": ["yes", "no"],
+        "created": [f"rel-{i}" for i in range(40)],
+    }
+
+
+class ProteinDataset:
+    """Seeded generator for the synthetic Protein stream.
+
+    >>> ds = ProteinDataset(seed=7)
+    >>> docs = list(ds.documents(3))
+    >>> len(docs)
+    3
+    """
+
+    name = "protein"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.dtd: DTD = protein_dtd()
+        self.value_pool = _build_pools(seed)
+        self._drawer = PoolDrawer(self.value_pool)
+
+    def documents(self, count: int) -> Iterator[Document]:
+        """Yield *count* documents (one ProteinEntry packet each)."""
+        rng = random.Random(self.seed)
+        for _ in range(count):
+            yield self.dtd.generate(
+                rng,
+                self._drawer.text_for,
+                repeat_mean=1.6,
+                optional_probability=0.55,
+            )
+
+    def stream_text(self, count: int, indent: int | None = None) -> str:
+        """*count* documents concatenated to XML text (the wire format)."""
+        return "".join(document_to_xml(doc, indent) for doc in self.documents(count))
+
+    def stream_of_bytes(self, target_bytes: int) -> str:
+        """A stream of at least *target_bytes* UTF-8 bytes."""
+        pieces: list[str] = []
+        total = 0
+        rng = random.Random(self.seed)
+        while total < target_bytes:
+            doc = self.dtd.generate(
+                rng, self._drawer.text_for, repeat_mean=1.6, optional_probability=0.55
+            )
+            text = document_to_xml(doc)
+            pieces.append(text)
+            total += len(text.encode("utf-8"))
+        return "".join(pieces)

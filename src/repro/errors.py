@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the filtering engine (e.g. a message broker) can catch
+one base class at the ingestion boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised by the streaming parser on malformed XML input.
+
+    Attributes:
+        line: 1-based line of the offending construct, when known.
+        column: 1-based column, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class EventStreamError(ReproError):
+    """Raised when a hand-built event stream is malformed (unbalanced
+    start/end elements, end of document with open elements).  Streams
+    produced by :func:`repro.xmlstream.parser.iterparse` are always
+    well-formed; this guards direct users of ``process_events``.
+    """
+
+
+class MixedContentError(ReproError):
+    """Raised when a document mixes text and element children.
+
+    The XPush machine assumes element content is either pure text (plus
+    attributes) or pure elements, as in Sec. 3.2 of the paper ("we will
+    always assume that the XML document has no mixed content").
+    """
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath filter does not belong to the Fig. 1 fragment."""
+
+    def __init__(self, message: str, position: int | None = None, source: str | None = None):
+        if position is not None and source is not None:
+            pointer = source[:position] + " >>> " + source[position:]
+            message = f"{message} (at position {position}: {pointer!r})"
+        super().__init__(message)
+        self.position = position
+        self.source = source
+
+
+class DTDError(ReproError):
+    """Raised for malformed DTD definitions or DTD-invalid documents."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a filter workload is ill-formed (e.g. duplicate oids)."""

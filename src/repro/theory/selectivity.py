@@ -1,0 +1,98 @@
+"""Empirical predicate selectivity estimation.
+
+Theorem 6.2's bounds are parameterised by σ, the probability that an
+atomic predicate is true on a document.  The paper assumes a uniform σ
+for the analysis; real workloads have heterogeneous selectivities
+("the selectivity of the atomic predicates depends on the data set",
+Sec. 7).  This module estimates them from a document sample, so the
+Theorem 6.2 benchmarks can compare measured state counts against
+bounds computed from *measured* selectivities rather than assumed
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Iterable, Sequence
+
+from repro.xmlstream.dom import Document
+from repro.xpath.analysis import _predicate_key
+from repro.xpath.ast import BooleanExpr, Comparison, Exists, XPathFilter, iter_predicates
+from repro.xpath.semantics import _RootNode, _truth
+
+
+@dataclass(frozen=True)
+class SelectivityReport:
+    """Per-predicate and aggregate selectivities over a sample."""
+
+    documents: int
+    per_predicate: dict[tuple, float]
+
+    @property
+    def mean_selectivity(self) -> float:
+        return mean(self.per_predicate.values()) if self.per_predicate else 0.0
+
+    @property
+    def median_selectivity(self) -> float:
+        return median(self.per_predicate.values()) if self.per_predicate else 0.0
+
+    @property
+    def max_selectivity(self) -> float:
+        return max(self.per_predicate.values(), default=0.0)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.per_predicate)} distinct predicates over "
+            f"{self.documents} documents: mean σ={self.mean_selectivity:.4f}, "
+            f"median σ={self.median_selectivity:.4f}, "
+            f"max σ={self.max_selectivity:.4f}"
+        )
+
+
+def _collect_atoms(filters: Iterable[XPathFilter]) -> dict[tuple, BooleanExpr]:
+    atoms: dict[tuple, BooleanExpr] = {}
+    for xpath_filter in filters:
+        for step in xpath_filter.path.steps:
+            for predicate in step.predicates:
+                for atom in iter_predicates(predicate):
+                    atoms.setdefault(_predicate_key(atom), atom)
+    return atoms
+
+
+def estimate_selectivities(
+    filters: Sequence[XPathFilter], documents: Sequence[Document]
+) -> SelectivityReport:
+    """Fraction of sample documents on which each atomic predicate is
+    true *somewhere* (evaluated from the document root, matching the
+    Theorem 6.2 notion of a predicate being "true on a document")."""
+    if not documents:
+        raise ValueError("need at least one sample document")
+    atoms = _collect_atoms(filters)
+    counts = {key: 0 for key in atoms}
+    for document in documents:
+        root = _RootNode(document)
+        for key, atom in atoms.items():
+            if _satisfied_somewhere(atom, document, root):
+                counts[key] += 1
+    n = len(documents)
+    return SelectivityReport(
+        documents=n,
+        per_predicate={key: count / n for key, count in counts.items()},
+    )
+
+
+def _satisfied_somewhere(atom: BooleanExpr, document: Document, root) -> bool:
+    """True when some node of *document* satisfies the (relative) atom.
+
+    Relative predicate paths are anchored at every element, mirroring
+    how the atomic predicate index fires wherever the value occurs.
+    """
+    if isinstance(atom, (Comparison, Exists)):
+        if _truth(atom, root):
+            return True
+        for node in document.root.iter_descendants():
+            if _truth(atom, node):
+                return True
+        return False
+    raise TypeError(f"not an atomic predicate: {atom!r}")

@@ -1,0 +1,416 @@
+"""A from-scratch streaming (incremental) XML parser.
+
+Produces the paper's five-event stream (:mod:`repro.xmlstream.events`)
+without ever materialising the document: the scanner keeps only a small
+input buffer and the open-element stack, so arbitrarily large documents
+and infinite concatenated streams are processed in O(depth) memory —
+the property the XPush machine relies on.
+
+Scope (deliberately matched to the paper's data model):
+
+- elements, attributes, character data, CDATA sections;
+- comments, processing instructions, XML declarations and DOCTYPE
+  declarations are parsed and skipped;
+- predefined and numeric character references are decoded;
+- whitespace-only text between elements is treated as ignorable (it is
+  never content in the paper's datasets, and treating it as text would
+  make every document look mixed-content);
+- **multiple concatenated documents** in one input are supported: each
+  top-level element yields its own ``StartDocument``/``EndDocument``
+  pair.  This is exactly the "stream of XML documents" of Sec. 2.
+
+Attributes are emitted as ``@name`` pseudo-elements in source order,
+immediately after the owning ``startElement`` — the paper's modified
+SAX convention.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable, Iterator
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+    attribute_label,
+)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_ASCII = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS_ASCII = _NAME_START_ASCII | set("0123456789.-")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch in _NAME_START_ASCII or (ord(ch) > 127 and ch.isalpha())
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch in _NAME_CHARS_ASCII or (ord(ch) > 127 and (ch.isalnum() or ch == "·"))
+
+
+def decode_entities(raw: str) -> str:
+    """Decode predefined and numeric character references in *raw*."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise XMLSyntaxError("unterminated entity reference")
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(f"unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+class _Buffer:
+    """Incremental text buffer fed from an iterator of string chunks."""
+
+    def __init__(self, chunks: Iterator[str]):
+        self._chunks = chunks
+        self._data = ""
+        self._pos = 0
+        self._eof = False
+        self.line = 1
+
+    def _fill(self) -> bool:
+        """Pull one more chunk; return False at end of input."""
+        if self._eof:
+            return False
+        try:
+            chunk = next(self._chunks)
+        except StopIteration:
+            self._eof = True
+            return False
+        # Compact consumed prefix so memory stays bounded by chunk size.
+        if self._pos:
+            self._data = self._data[self._pos :]
+            self._pos = 0
+        self._data += chunk
+        return True
+
+    def peek(self) -> str:
+        """Return the next character without consuming it ('' at EOF)."""
+        while self._pos >= len(self._data):
+            if not self._fill():
+                return ""
+        return self._data[self._pos]
+
+    def next_char(self) -> str:
+        ch = self.peek()
+        if ch:
+            self._pos += 1
+            if ch == "\n":
+                self.line += 1
+        return ch
+
+    def read_until(self, terminator: str) -> str:
+        """Consume and return text up to (excluding) *terminator*; the
+        terminator itself is consumed as well."""
+        while True:
+            idx = self._data.find(terminator, self._pos)
+            if idx >= 0:
+                chunk = self._data[self._pos : idx]
+                self.line += chunk.count("\n")
+                self._pos = idx + len(terminator)
+                return chunk
+            if not self._fill():
+                raise XMLSyntaxError(f"unexpected end of input looking for {terminator!r}", self.line)
+
+    def read_text_run(self) -> str:
+        """Consume and return character data up to the next '<' or EOF."""
+        pieces: list[str] = []
+        while True:
+            idx = self._data.find("<", self._pos)
+            if idx >= 0:
+                pieces.append(self._data[self._pos : idx])
+                self._pos = idx
+                break
+            pieces.append(self._data[self._pos :])
+            self._pos = len(self._data)
+            if not self._fill():
+                break
+        run = "".join(pieces)
+        self.line += run.count("\n")
+        return run
+
+    def skip_whitespace(self) -> None:
+        while True:
+            data = self._data
+            i = self._pos
+            n = len(data)
+            start = i
+            while i < n and data[i] in " \t\r\n":
+                i += 1
+            if i != start:
+                self.line += data.count("\n", start, i)
+                self._pos = i
+            if i < n or not self._fill():
+                return
+
+    def expect(self, literal: str) -> None:
+        for expected in literal:
+            got = self.next_char()
+            if got != expected:
+                raise XMLSyntaxError(f"expected {literal!r}", self.line)
+
+    def match(self, literal: str) -> bool:
+        """Consume *literal* if it is next in the input; return success."""
+        while len(self._data) - self._pos < len(literal):
+            if not self._fill():
+                break
+        if self._data.startswith(literal, self._pos):
+            self._pos += len(literal)
+            self.line += literal.count("\n")
+            return True
+        return False
+
+    def read_name(self) -> str:
+        ch = self.peek()
+        if not ch or not _is_name_start(ch):
+            raise XMLSyntaxError(f"expected a name, found {ch!r}", self.line)
+        # Fast path: scan the in-memory buffer directly (names contain
+        # no newlines, so the line counter is unaffected).
+        data = self._data
+        i = self._pos
+        j = i + 1
+        n = len(data)
+        ascii_chars = _NAME_CHARS_ASCII
+        while j < n:
+            c = data[j]
+            if c in ascii_chars or (ord(c) > 127 and _is_name_char(c)):
+                j += 1
+            else:
+                break
+        self._pos = j
+        name = data[i:j]
+        if j >= n:
+            # The name may continue into the next chunk; fall back to
+            # the slow per-character path for the straddling tail.
+            tail: list[str] = []
+            while True:
+                ch = self.peek()  # refills as needed
+                if ch and _is_name_char(ch):
+                    tail.append(self.next_char())
+                else:
+                    break
+            if tail:
+                name += "".join(tail)
+        return name
+
+
+def _scan(buffer: _Buffer) -> Iterator[Event]:
+    """Core scanner: turn raw XML text into the five-event stream."""
+    depth = 0
+    stack: list[str] = []
+    pending_text: list[str] = []
+
+    def flush_text() -> Iterator[Event]:
+        if pending_text:
+            value = "".join(pending_text)
+            pending_text.clear()
+            if value.strip():
+                if depth == 0:
+                    raise XMLSyntaxError("text outside any element", buffer.line)
+                yield Text(value)
+
+    while True:
+        ch = buffer.peek()
+        if not ch:
+            yield from flush_text()
+            if stack:
+                raise XMLSyntaxError(f"unclosed element <{stack[-1]}> at end of input", buffer.line)
+            return
+        if ch != "<":
+            pending_text.append(decode_entities(buffer.read_text_run()))
+            continue
+        buffer.next_char()  # consume '<'
+        ch = buffer.peek()
+        if ch == "?":
+            buffer.read_until("?>")
+            continue
+        if ch == "!":
+            buffer.next_char()
+            if buffer.match("--"):
+                buffer.read_until("-->")
+            elif buffer.match("[CDATA["):
+                pending_text.append(buffer.read_until("]]>"))
+            elif buffer.match("DOCTYPE"):
+                _skip_doctype(buffer)
+            else:
+                raise XMLSyntaxError("malformed markup declaration", buffer.line)
+            continue
+        if ch == "/":
+            buffer.next_char()
+            name = buffer.read_name()
+            buffer.skip_whitespace()
+            buffer.expect(">")
+            yield from flush_text()
+            if not stack or stack[-1] != name:
+                opened = stack[-1] if stack else None
+                raise XMLSyntaxError(f"</{name}> does not match <{opened}>", buffer.line)
+            stack.pop()
+            depth -= 1
+            yield EndElement(name)
+            if depth == 0:
+                yield EndDocument()
+            continue
+        # A start tag.
+        yield from flush_text()
+        name = buffer.read_name()
+        attributes = _scan_attributes(buffer)
+        if depth == 0:
+            yield StartDocument()
+        yield StartElement(name)
+        for attr_name, attr_value in attributes:
+            label = attribute_label(attr_name)
+            yield StartElement(label)
+            yield Text(attr_value)
+            yield EndElement(label)
+        buffer.skip_whitespace()
+        if buffer.match("/>"):
+            if depth == 0:
+                yield EndElement(name)
+                yield EndDocument()
+            else:
+                yield EndElement(name)
+            continue
+        buffer.expect(">")
+        stack.append(name)
+        depth += 1
+
+
+def _scan_attributes(buffer: _Buffer) -> list[tuple[str, str]]:
+    attributes: list[tuple[str, str]] = []
+    while True:
+        buffer.skip_whitespace()
+        ch = buffer.peek()
+        if not ch:
+            raise XMLSyntaxError("unexpected end of input in start tag", buffer.line)
+        if ch in "/>":
+            return attributes
+        name = buffer.read_name()
+        buffer.skip_whitespace()
+        buffer.expect("=")
+        buffer.skip_whitespace()
+        quote = buffer.next_char()
+        if quote not in "'\"":
+            raise XMLSyntaxError("attribute value must be quoted", buffer.line)
+        value = decode_entities(buffer.read_until(quote))
+        attributes.append((name, value))
+
+
+def _skip_doctype(buffer: _Buffer) -> None:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    nesting = 0
+    while True:
+        ch = buffer.next_char()
+        if not ch:
+            raise XMLSyntaxError("unterminated DOCTYPE", buffer.line)
+        if ch == "[":
+            nesting += 1
+        elif ch == "]":
+            nesting -= 1
+        elif ch == ">" and nesting <= 0:
+            return
+
+
+def _chunks_of(source: str | bytes | IO, chunk_size: int) -> Iterator[str]:
+    if isinstance(source, bytes):
+        source = source.decode("utf-8")
+    if isinstance(source, str):
+        for start in range(0, len(source), chunk_size):
+            yield source[start : start + chunk_size]
+        return
+    while True:
+        chunk = source.read(chunk_size)
+        if not chunk:
+            return
+        if isinstance(chunk, bytes):
+            chunk = chunk.decode("utf-8")
+        yield chunk
+
+
+def iterparse(source: str | bytes | IO, chunk_size: int = 1 << 16) -> Iterator[Event]:
+    """Lazily parse *source* (a string, bytes, or file-like object)
+    into the five-event stream, in O(depth) memory."""
+    return _scan(_Buffer(_chunks_of(source, chunk_size)))
+
+
+def parse_events(text: str) -> list[Event]:
+    """Parse *text* eagerly and return the full event list."""
+    return list(iterparse(text))
+
+
+def iterparse_path(path: str, chunk_size: int = 1 << 16) -> Iterator[Event]:
+    """Lazily parse the file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        yield from iterparse(handle, chunk_size)
+
+
+def count_bytes(text: str) -> int:
+    """UTF-8 size of *text*; used for MB/s throughput accounting."""
+    return len(text.encode("utf-8"))
+
+
+def expat_events(text: str) -> list[Event]:
+    """Alternative event source backed by the C expat parser.
+
+    The scan itself is the from-scratch parser above; this variant exists
+    so benchmarks can separate "our parser" cost from engine cost, the
+    way the paper compares against the Apache parser.  Only single
+    documents (well-formed XML) are supported, as expat requires.
+    """
+    import xml.parsers.expat as expat
+
+    out: list[Event] = [StartDocument()]
+    parser = expat.ParserCreate()
+
+    def start(name: str, attrs: dict) -> None:
+        out.append(StartElement(name))
+        for key, value in attrs.items():
+            label = attribute_label(key)
+            out.append(StartElement(label))
+            out.append(Text(value))
+            out.append(EndElement(label))
+
+    def end(name: str) -> None:
+        out.append(EndElement(name))
+
+    def chars(data: str) -> None:
+        if data.strip():
+            out.append(Text(data))
+
+    parser.StartElementHandler = start
+    parser.EndElementHandler = end
+    parser.CharacterDataHandler = chars
+    parser.buffer_text = True
+    parser.Parse(text, True)
+    out.append(EndDocument())
+    return out

@@ -1,0 +1,166 @@
+"""Workload analytics: how much sharing is there to exploit?
+
+The paper's premise (Sec. 1): "When the workload has many XPath
+queries, each with several predicates, such common predicates are
+frequent, and keeping track of them separately for each query degrades
+the performance significantly."  This module measures that premise on
+a concrete workload — how many *distinct* atomic predicates and
+navigation prefixes exist vs. their total number of occurrences — and
+summarises the structural shape the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.xpath.ast import (
+    Axis,
+    BooleanExpr,
+    Comparison,
+    Exists,
+    LocationPath,
+    XPathFilter,
+    count_atomic_predicates,
+    is_linear,
+    iter_predicates,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary statistics of a filter workload."""
+
+    queries: int
+    total_atomic_predicates: int
+    distinct_atomic_predicates: int
+    total_path_steps: int
+    distinct_navigation_prefixes: int
+    total_navigation_prefixes: int
+    linear_queries: int
+    queries_with_not: int
+    queries_with_or: int
+    max_predicates_in_one_query: int
+
+    @property
+    def predicates_per_query(self) -> float:
+        return self.total_atomic_predicates / self.queries if self.queries else 0.0
+
+    @property
+    def predicate_sharing_ratio(self) -> float:
+        """Occurrences per distinct atomic predicate (1.0 = no sharing).
+
+        This is the quantity the XPush machine exploits and prior
+        systems do not: at ratio r, a per-query engine does r× the
+        predicate work of a perfectly shared one.
+        """
+        if not self.distinct_atomic_predicates:
+            return 1.0
+        return self.total_atomic_predicates / self.distinct_atomic_predicates
+
+    @property
+    def prefix_sharing_ratio(self) -> float:
+        """Occurrences per distinct navigation prefix — what
+        YFilter-style systems exploit."""
+        if not self.distinct_navigation_prefixes:
+            return 1.0
+        return self.total_navigation_prefixes / self.distinct_navigation_prefixes
+
+    def describe(self) -> str:
+        return (
+            f"{self.queries} queries, "
+            f"{self.total_atomic_predicates} atomic predicates "
+            f"({self.predicates_per_query:.2f}/query, "
+            f"{self.distinct_atomic_predicates} distinct, "
+            f"sharing {self.predicate_sharing_ratio:.2f}x); "
+            f"navigation prefixes shared {self.prefix_sharing_ratio:.2f}x; "
+            f"{self.linear_queries} linear, "
+            f"{self.queries_with_not} with not(), "
+            f"{self.queries_with_or} with or"
+        )
+
+
+def _predicate_key(expr: BooleanExpr) -> tuple:
+    """Canonical key of one atomic predicate: (relative path, op, const).
+
+    Two filters containing ``[b/text() = 1]`` yield the same key — the
+    common predicate of Example 1.1.
+    """
+    if isinstance(expr, Comparison):
+        return (str(expr.path), expr.op, expr.value)
+    return (str(expr.path), "exists", None)
+
+
+def _navigation_prefixes(path: LocationPath) -> list[tuple]:
+    prefixes = []
+    acc: list[tuple] = []
+    for step in path.steps:
+        acc.append((step.axis.name, str(step.test)))
+        prefixes.append(tuple(acc))
+    return prefixes
+
+
+def _contains_kind(expr: BooleanExpr, kind: type) -> bool:
+    from repro.xpath.ast import And, Not, Or
+
+    if isinstance(expr, kind):
+        return True
+    if isinstance(expr, Not):
+        return _contains_kind(expr.child, kind)
+    if isinstance(expr, (And, Or)):
+        return any(_contains_kind(c, kind) for c in expr.children)
+    return False
+
+
+def profile_workload(filters: list[XPathFilter]) -> WorkloadProfile:
+    """Compute the :class:`WorkloadProfile` of a workload."""
+    from repro.xpath.ast import Not, Or
+
+    predicate_counts: Counter = Counter()
+    prefix_counts: Counter = Counter()
+    total_steps = 0
+    linear = 0
+    with_not = 0
+    with_or = 0
+    max_predicates = 0
+    for xpath_filter in filters:
+        path = xpath_filter.path
+        total_steps += len(path.steps)
+        if is_linear(path):
+            linear += 1
+        n_preds = count_atomic_predicates(path)
+        max_predicates = max(max_predicates, n_preds)
+        for prefix in _navigation_prefixes(path):
+            prefix_counts[prefix] += 1
+        has_not = has_or = False
+        for step in path.steps:
+            for predicate in step.predicates:
+                has_not = has_not or _contains_kind(predicate, Not)
+                has_or = has_or or _contains_kind(predicate, Or)
+                for atom in iter_predicates(predicate):
+                    predicate_counts[_predicate_key(atom)] += 1
+        with_not += has_not
+        with_or += has_or
+    return WorkloadProfile(
+        queries=len(filters),
+        total_atomic_predicates=sum(predicate_counts.values()),
+        distinct_atomic_predicates=len(predicate_counts),
+        total_path_steps=total_steps,
+        distinct_navigation_prefixes=len(prefix_counts),
+        total_navigation_prefixes=sum(prefix_counts.values()),
+        linear_queries=linear,
+        queries_with_not=with_not,
+        queries_with_or=with_or,
+        max_predicates_in_one_query=max_predicates,
+    )
+
+
+def most_shared_predicates(filters: list[XPathFilter], top: int = 10) -> list[tuple[tuple, int]]:
+    """The most frequently shared atomic predicates in the workload."""
+    counts: Counter = Counter()
+    for xpath_filter in filters:
+        for step in xpath_filter.path.steps:
+            for predicate in step.predicates:
+                for atom in iter_predicates(predicate):
+                    counts[_predicate_key(atom)] += 1
+    return counts.most_common(top)

@@ -1,0 +1,144 @@
+"""Workload deduplication: equivalent filters share one automaton.
+
+Large subscription workloads contain *identical* filters under
+different oids (many users subscribing to the same thing) and filters
+that differ only in conjunct order or redundant boolean structure —
+``//a[x=1 and y=2]`` vs ``//a[y=2 and x=1]``.  The XPush machine
+already shares their predicates state-by-state, but each duplicate
+still contributes its own AFA (more sids per XPush state, more accept
+bookkeeping).  This pass canonicalises filters (after
+:mod:`repro.xpath.simplify`), groups equivalent ones, and lets the
+engine run one representative per class, fanning results back out to
+every member oid.
+
+Canonicalisation is *sound, not complete*: it flattens and sorts
+commutative connectives and normalises step sugar, so syntactically
+different but logically equivalent filters beyond that (e.g. interval
+reasoning) stay in separate classes — never merged wrongly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.xpath.ast import (
+    And,
+    BooleanExpr,
+    Comparison,
+    Exists,
+    LocationPath,
+    Not,
+    Or,
+    Step,
+    XPathFilter,
+)
+from repro.xpath.simplify import simplify_path
+
+
+def canonical_key(path: LocationPath) -> str:
+    """A string equal for filters this pass considers equivalent."""
+    return _path_key(simplify_path(path))
+
+
+def _path_key(path: LocationPath) -> str:
+    steps = "/".join(_step_key(step) for step in path.steps)
+    return ("A:" if path.absolute else "R:") + steps
+
+
+def _step_key(step: Step) -> str:
+    predicates = sorted(_expr_key(p) for p in step.predicates)
+    return f"{step.axis.name}:{step.test}" + "".join(f"[{p}]" for p in predicates)
+
+
+def _expr_key(expr: BooleanExpr) -> str:
+    if isinstance(expr, Exists):
+        return f"E({_path_key(expr.path)})"
+    if isinstance(expr, Comparison):
+        constant = expr.value
+        if isinstance(constant, float) and constant.is_integer():
+            constant = int(constant)  # 2.0 and 2 compare identically
+        kind = "s" if isinstance(constant, str) else "n"
+        return f"C({_path_key(expr.path)},{expr.op},{kind}{constant!r})"
+    if isinstance(expr, Not):
+        return f"N({_expr_key(expr.child)})"
+    if isinstance(expr, (And, Or)):
+        tag = "A" if isinstance(expr, And) else "O"
+        children = sorted(_expr_key(c) for c in expr.children)
+        return f"{tag}({','.join(children)})"
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+class DeduplicatedWorkload:
+    """Equivalence classes of a workload plus the result fan-out map."""
+
+    def __init__(self, filters: list[XPathFilter]):
+        oids = [f.oid for f in filters]
+        if len(set(oids)) != len(oids):
+            raise WorkloadError("duplicate oids in workload")
+        self.representatives: list[XPathFilter] = []
+        self.members: dict[str, tuple[str, ...]] = {}
+        by_key: dict[str, list[str]] = {}
+        representative_for: dict[str, XPathFilter] = {}
+        for xpath_filter in filters:
+            key = canonical_key(xpath_filter.path)
+            if key not in by_key:
+                by_key[key] = []
+                representative_for[key] = xpath_filter
+            by_key[key].append(xpath_filter.oid)
+        for key, group in by_key.items():
+            representative = representative_for[key]
+            self.representatives.append(representative)
+            self.members[representative.oid] = tuple(group)
+
+    @property
+    def original_count(self) -> int:
+        return sum(len(group) for group in self.members.values())
+
+    @property
+    def class_count(self) -> int:
+        return len(self.representatives)
+
+    @property
+    def duplicates_removed(self) -> int:
+        return self.original_count - self.class_count
+
+    def expand(self, representative_oids: frozenset[str]) -> frozenset[str]:
+        """Fan a representative answer set out to all member oids."""
+        out: list[str] = []
+        for oid in representative_oids:
+            out.extend(self.members.get(oid, (oid,)))
+        return frozenset(out)
+
+
+class DeduplicatedEngine:
+    """An XPush machine running one representative per filter class.
+
+    Drop-in for :class:`repro.xpush.machine.XPushMachine`'s filtering
+    API; answers are identical to running the full workload.
+    """
+
+    def __init__(self, filters: list[XPathFilter], options=None, dtd=None):
+        from repro.afa.build import build_workload_automata
+        from repro.xpush.machine import XPushMachine
+
+        self.dedup = DeduplicatedWorkload(filters)
+        self.machine = XPushMachine(
+            build_workload_automata(self.dedup.representatives), options, dtd=dtd
+        )
+
+    def filter_document(self, document) -> frozenset[str]:
+        return self.dedup.expand(self.machine.filter_document(document))
+
+    def filter_stream(self, source) -> list[frozenset[str]]:
+        return [self.dedup.expand(r) for r in self.machine.filter_stream(source)]
+
+    @property
+    def state_count(self) -> int:
+        return self.machine.state_count
+
+    def stats(self) -> dict:
+        return {
+            "original_filters": self.dedup.original_count,
+            "filter_classes": self.dedup.class_count,
+            "duplicates_removed": self.dedup.duplicates_removed,
+            "xpush_states": self.machine.state_count,
+        }

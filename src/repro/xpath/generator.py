@@ -1,0 +1,350 @@
+"""Synthetic XPath workload generator (Sec. 7, "Experimental setting").
+
+"We generated synthetic XPath queries using a modified version of the
+generator in [YFilter]: we modified it to generate bushy query trees,
+rather than left-linear trees, and modified it to generate atomic
+predicates using data values from the given data instance, ensuring
+that each predicate is true on at least some XML document."
+
+The generator walks the dataset's DTD to produce structurally valid
+paths, draws predicate constants from the dataset's value pools, and
+controls:
+
+- wildcard and descendant-axis probability (both 0 in the paper's
+  reported runs);
+- the predicates-per-query distribution — either a mean (1 + Poisson,
+  giving the paper's 1.15 / 10.45 averages) or an exact count ``k``
+  (the Fig. 9-11 sweeps keep ``k·n`` fixed while varying ``k``);
+- bushiness: predicates attach to random steps of the main path and
+  may nest (a predicate whose relative path itself carries a
+  comparison);
+- boolean connectives: ``and`` by default, ``or``/``not`` with small
+  probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import WorkloadError
+from repro.xmlstream.dtd import DTD
+from repro.xpath.ast import (
+    And,
+    Axis,
+    BooleanExpr,
+    Comparison,
+    Exists,
+    LocationPath,
+    Not,
+    NodeTest,
+    NodeTestKind,
+    Or,
+    Step,
+    XPathFilter,
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of the workload generator."""
+
+    seed: int = 0
+    path_depth_min: int = 1
+    path_depth_max: int = 4
+    prob_wildcard: float = 0.0
+    prob_descendant: float = 0.0
+    mean_predicates: float = 1.15
+    exact_predicates: int | None = None  # overrides mean_predicates
+    max_predicates: int = 50
+    prob_or: float = 0.0
+    prob_not: float = 0.0
+    prob_nested: float = 0.0
+    prob_attribute_predicate: float = 0.3
+    prob_inequality: float = 0.15
+    #: probability that a string-valued predicate becomes the Sec. 2
+    #: extension ``starts-with``/``contains`` instead of equality.
+    prob_string_function: float = 0.0
+
+
+class QueryGenerator:
+    """Generates filters valid against a DTD and its value pools.
+
+    Args:
+        dtd: the dataset's DTD (paths follow its child relation).
+        value_pool: label → candidate constants; keys are leaf element
+            labels and ``@name`` attribute labels.  Every comparison
+            constant is drawn here, so each predicate is satisfiable on
+            the dataset.
+        config: see :class:`GeneratorConfig`.
+    """
+
+    def __init__(self, dtd: DTD, value_pool: Mapping[str, Sequence[str]], config: GeneratorConfig | None = None):
+        self.dtd = dtd
+        self.value_pool = {k: list(v) for k, v in value_pool.items() if v}
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(self.config.seed)
+        self.children = {k: sorted(v) for k, v in dtd.children_map().items()}
+        self.leaf_labels = {
+            name for name, decl in dtd.elements.items() if decl.content.kind == "pcdata"
+        }
+        self.attrs_of = {
+            name: [a.name for a in decl.attributes] for name, decl in dtd.elements.items()
+        }
+        # Labels from which at least one predicate can hang.
+        self._pred_capable: dict[str, bool] = {}
+        if not any(self._can_predicate(label) for label in dtd.elements):
+            raise WorkloadError("DTD/value pool supports no predicates at all")
+
+    # ------------------------------------------------------------------
+
+    def generate(self, count: int, oid_prefix: str = "q") -> list[XPathFilter]:
+        """Generate *count* filters with oids ``<prefix>0 … <prefix>N``."""
+        return [self.generate_one(f"{oid_prefix}{i}") for i in range(count)]
+
+    def generate_one(self, oid: str) -> XPathFilter:
+        for _ in range(64):  # retry: a walk can dead-end predicate-less
+            candidate = self._try_generate(oid)
+            if candidate is not None:
+                return candidate
+        raise WorkloadError("generator failed to produce a query; check the DTD/pools")
+
+    # ------------------------------------------------------------------
+
+    def _try_generate(self, oid: str) -> XPathFilter | None:
+        rng = self.rng
+        config = self.config
+        chain = self._random_chain()
+        if chain is None:
+            return None
+        # How many predicates this query gets.
+        if config.exact_predicates is not None:
+            wanted = config.exact_predicates
+        else:
+            wanted = 1 + _poisson(rng, max(config.mean_predicates - 1.0, 0.0))
+        wanted = min(wanted, config.max_predicates)
+        # Attach predicates to pred-capable steps; bias towards the
+        # anchor (last step) so shallow chains still get their share.
+        capable = [i for i, label in enumerate(chain) if self._can_predicate(label)]
+        if wanted and not capable:
+            return None
+        atoms_at: dict[int, list[BooleanExpr]] = {}
+        for _ in range(wanted):
+            position = capable[-1] if rng.random() < 0.5 else rng.choice(capable)
+            atom = self._atomic_predicate(chain[position])
+            if atom is None:
+                return None
+            atoms_at.setdefault(position, []).append(atom)
+        steps: list[Step] = []
+        previous_kept = -1
+        for i, label in enumerate(chain):
+            axis = Axis.CHILD
+            if i > 0 and rng.random() < config.prob_descendant and i - previous_kept == 1:
+                # Descendant step: optionally skip this level entirely by
+                # re-labelling the step as a descendant of the previous.
+                axis = Axis.DESCENDANT
+            if i == 0 and rng.random() < config.prob_descendant:
+                axis = Axis.DESCENDANT
+            test_label = label
+            if rng.random() < config.prob_wildcard:
+                test = NodeTest(NodeTestKind.WILDCARD)
+            else:
+                test = NodeTest(NodeTestKind.NAME, test_label)
+            predicates = tuple(self._combine(atoms_at.get(i, [])))
+            steps.append(Step(axis, test, predicates))
+            previous_kept = i
+        path = LocationPath(tuple(steps), absolute=True)
+        return XPathFilter(path, oid=oid, source=str(path))
+
+    def _random_chain(self) -> list[str] | None:
+        """A random downward label walk from the DTD root."""
+        rng = self.rng
+        config = self.config
+        depth = rng.randint(config.path_depth_min, config.path_depth_max)
+        chain = [self.dtd.root]
+        while len(chain) < depth:
+            options = [c for c in self.children.get(chain[-1], ()) if c not in self.leaf_labels]
+            leafy = [c for c in self.children.get(chain[-1], ()) if c in self.leaf_labels]
+            if not options and not leafy:
+                break
+            if len(chain) == depth - 1 and leafy and rng.random() < 0.3:
+                chain.append(rng.choice(leafy))
+                break
+            if not options:
+                break
+            chain.append(rng.choice(options))
+        return chain
+
+    def _can_predicate(self, label: str) -> bool:
+        cached = self._pred_capable.get(label)
+        if cached is not None:
+            return cached
+        capable = False
+        if any("@" + attr in self.value_pool for attr in self.attrs_of.get(label, ())):
+            capable = True
+        elif label in self.leaf_labels and label in self.value_pool:
+            capable = True
+        else:
+            capable = any(
+                child in self.value_pool and child in self.leaf_labels
+                for child in self.children.get(label, ())
+            ) or any(
+                "@" + attr in self.value_pool
+                for child in self.children.get(label, ())
+                for attr in self.attrs_of.get(child, ())
+            )
+        self._pred_capable[label] = capable
+        return capable
+
+    # ------------------------------------------------------------------
+
+    def _atomic_predicate(self, context_label: str) -> BooleanExpr | None:
+        """One atomic predicate on a node labelled *context_label*."""
+        rng = self.rng
+        choices: list[tuple[str, ...]] = []  # encoded relative paths
+        for attr in self.attrs_of.get(context_label, ()):
+            if "@" + attr in self.value_pool:
+                choices.append(("@" + attr,))
+        if context_label in self.leaf_labels and context_label in self.value_pool:
+            choices.append(("text()",))
+        for child in self.children.get(context_label, ()):
+            if child in self.leaf_labels and child in self.value_pool:
+                choices.append((child, "text()"))
+            for attr in self.attrs_of.get(child, ()):
+                if "@" + attr in self.value_pool:
+                    choices.append((child, "@" + attr))
+        if not choices:
+            return None
+        attr_choices = [c for c in choices if c[-1].startswith("@")]
+        if attr_choices and rng.random() < self.config.prob_attribute_predicate:
+            encoded = rng.choice(attr_choices)
+        else:
+            encoded = rng.choice(choices)
+        pool_key = encoded[-1] if encoded[-1].startswith("@") else (
+            encoded[-2] if len(encoded) > 1 else context_label
+        )
+        raw = rng.choice(self.value_pool[pool_key])
+        value, op = self._constant_and_op(raw)
+        steps = tuple(_encoded_step(piece) for piece in encoded)
+        comparison = Comparison(LocationPath(steps), op, value)
+        if self.config.prob_nested and rng.random() < self.config.prob_nested:
+            # Bushy nesting: wrap as existence of a child carrying the
+            # comparison, e.g. [b[. = 5]] — same truth, deeper tree.
+            if len(encoded) > 1 and not encoded[0].startswith("@"):
+                inner_path = LocationPath(tuple(_encoded_step(p) for p in encoded[1:]))
+                inner = Comparison(inner_path, op, value)
+                outer = Step(Axis.CHILD, NodeTest(NodeTestKind.NAME, encoded[0]), (inner,))
+                return Exists(LocationPath((outer,)))
+        return comparison
+
+    def _constant_and_op(self, raw: str) -> tuple[int | float | str, str]:
+        rng = self.rng
+        value: int | float | str
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        if isinstance(value, (int, float)) and rng.random() < self.config.prob_inequality:
+            op = rng.choice(("<", "<=", ">", ">=", "!="))
+        elif (
+            isinstance(value, str)
+            and len(value) >= 2
+            and rng.random() < self.config.prob_string_function
+        ):
+            # The Sec. 2 string extension: take a fragment of the real
+            # value, so the predicate is satisfied by the data it came
+            # from (keeping the generator's satisfiability guarantee).
+            if rng.random() < 0.5:
+                op = "starts-with"
+                value = value[: rng.randint(1, max(1, len(value) - 1))]
+            else:
+                op = "contains"
+                start = rng.randint(0, len(value) - 2)
+                end = rng.randint(start + 1, len(value))
+                value = value[start:end]
+        else:
+            op = "="
+        return value, op
+
+    def _combine(self, atoms: list[BooleanExpr]) -> list[BooleanExpr]:
+        """Join a step's atoms with connectives into predicate brackets."""
+        if not atoms:
+            return []
+        rng = self.rng
+        processed: list[BooleanExpr] = []
+        for atom in atoms:
+            if rng.random() < self.config.prob_not:
+                atom = Not(atom)
+            processed.append(atom)
+        if len(processed) == 1:
+            return processed
+        if rng.random() < self.config.prob_or:
+            split = rng.randint(1, len(processed) - 1)
+            left, right = processed[:split], processed[split:]
+            left_expr = left[0] if len(left) == 1 else And(tuple(left))
+            right_expr = right[0] if len(right) == 1 else And(tuple(right))
+            return [Or((left_expr, right_expr))]
+        return [And(tuple(processed))]
+
+
+def _encoded_step(piece: str) -> Step:
+    if piece == "text()":
+        return Step(Axis.CHILD, NodeTest(NodeTestKind.TEXT))
+    if piece.startswith("@"):
+        return Step(Axis.CHILD, NodeTest(NodeTestKind.ATTRIBUTE, piece))
+    return Step(Axis.CHILD, NodeTest(NodeTestKind.NAME, piece))
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (mean is small in our workloads)."""
+    if mean <= 0:
+        return 0
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def flat_workload(
+    root: str,
+    branch_labels: Sequence[str],
+    queries: int,
+    predicates_per_query: int,
+    values: Sequence[str],
+    rng: random.Random | None = None,
+) -> list[XPathFilter]:
+    """The *flat workloads* of Sec. 6: every query is
+    ``/a[b1/text() = v1 and … and bk/text() = vk]`` with a shared root
+    label — the shape Theorem 6.2 analyses."""
+    rng = rng or random.Random(0)
+    filters: list[XPathFilter] = []
+    for i in range(queries):
+        labels = rng.sample(list(branch_labels), min(predicates_per_query, len(branch_labels)))
+        labels.sort(key=lambda l: branch_labels.index(l))
+        atoms = []
+        for label in labels:
+            raw = rng.choice(list(values))
+            try:
+                constant: int | float | str = int(raw)
+            except ValueError:
+                constant = raw
+            path = LocationPath(
+                (
+                    Step(Axis.CHILD, NodeTest(NodeTestKind.NAME, label)),
+                    Step(Axis.CHILD, NodeTest(NodeTestKind.TEXT)),
+                )
+            )
+            atoms.append(Comparison(path, "=", constant))
+        predicate = atoms[0] if len(atoms) == 1 else And(tuple(atoms))
+        step = Step(Axis.CHILD, NodeTest(NodeTestKind.NAME, root), (predicate,))
+        path = LocationPath((step,), absolute=True)
+        filters.append(XPathFilter(path, oid=f"q{i}", source=str(path)))
+    return filters

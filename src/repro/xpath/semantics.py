@@ -1,0 +1,166 @@
+"""Reference (ground-truth) semantics of the Fig. 1 fragment on a DOM.
+
+This evaluator defines what every engine in the library must compute:
+an XPath expression ``P`` is treated as a boolean filter — "an XML
+document matches P if and only if P selects at least one node when
+evaluated on the document's root" (Sec. 2).  The paper's data model is
+used throughout: attributes are children (pseudo-elements ``@name``)
+and the root node sits one level above the top-most element.
+
+``not`` is universal quantification, exactly as the paper notes:
+``/a[not(b/text()=1)]`` matches iff *all* ``b`` children differ from 1.
+
+All value comparisons go through :func:`repro.afa.predicates.compare`,
+the same function the XPush machine's atomic predicate index uses, so
+differential tests compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from repro.xmlstream.dom import Document, Element
+from repro.xpath.ast import (
+    And,
+    Axis,
+    BooleanExpr,
+    Comparison,
+    Exists,
+    LocationPath,
+    Not,
+    NodeTest,
+    NodeTestKind,
+    Or,
+    Step,
+    XPathFilter,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _AttrNode:
+    """Attribute pseudo-node: behaves like a leaf element ``@name``."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class _RootNode:
+    """The virtual node one level above the root element."""
+
+    document: Document
+
+
+Node = Union[_RootNode, Element, _AttrNode, str]  # str = text node value
+
+
+def _children(node: Node) -> Iterator[Node]:
+    """The paper's child relation: attributes and text are children."""
+    if isinstance(node, _RootNode):
+        yield node.document.root
+    elif isinstance(node, Element):
+        for name, value in node.attributes:
+            yield _AttrNode(name, value)
+        if node.text is not None:
+            yield node.text
+        yield from node.children
+    # attribute and text nodes are leaves
+
+
+def _descendants(node: Node) -> Iterator[Node]:
+    """Proper descendants (depth >= 1) under the child relation."""
+    stack = list(_children(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        stack.extend(_children(child))
+
+
+def _test_matches(test: NodeTest, node: Node) -> bool:
+    kind = test.kind
+    if isinstance(node, Element):
+        if kind is NodeTestKind.NAME:
+            return node.label == test.name
+        return kind is NodeTestKind.WILDCARD
+    if isinstance(node, _AttrNode):
+        if kind is NodeTestKind.ATTRIBUTE:
+            return "@" + node.name == test.name
+        return kind is NodeTestKind.ATTRIBUTE_WILDCARD
+    if isinstance(node, str):
+        return kind is NodeTestKind.TEXT
+    return False  # the virtual root matches nothing
+
+
+def node_value(node: Node) -> str | None:
+    """The comparable value of a node (None when it has none)."""
+    if isinstance(node, str):
+        return node
+    if isinstance(node, _AttrNode):
+        return node.value
+    if isinstance(node, Element):
+        return node.text
+    return None
+
+
+def _select(path: LocationPath, context: Node) -> list[Node]:
+    """All nodes selected by *path* starting from *context*."""
+    current: list[Node] = [context]
+    for step in path.steps:
+        selected: list[Node] = []
+        seen_ids: set[int] = set()
+        for node in current:
+            if step.axis is Axis.SELF:
+                candidates: Iterable[Node] = (node,)
+            elif step.axis is Axis.CHILD:
+                candidates = _children(node)
+            else:
+                candidates = _descendants(node)
+            for candidate in candidates:
+                if step.axis is Axis.SELF or _test_matches(step.test, candidate):
+                    marker = id(candidate)
+                    if marker not in seen_ids:
+                        seen_ids.add(marker)
+                        selected.append(candidate)
+        if step.predicates:
+            selected = [
+                node
+                for node in selected
+                if all(_truth(pred, node) for pred in step.predicates)
+            ]
+        current = selected
+        if not current:
+            return []
+    return current
+
+
+def _truth(expr: BooleanExpr, context: Node) -> bool:
+    if isinstance(expr, Exists):
+        return bool(_select(expr.path, context))
+    if isinstance(expr, Comparison):
+        from repro.afa.predicates import compare
+
+        for node in _select(expr.path, context):
+            value = node_value(node)
+            if value is not None and compare(value, expr.op, expr.value):
+                return True
+        return False
+    if isinstance(expr, And):
+        return all(_truth(child, context) for child in expr.children)
+    if isinstance(expr, Or):
+        return any(_truth(child, context) for child in expr.children)
+    if isinstance(expr, Not):
+        return not _truth(expr.child, context)
+    raise TypeError(f"not a boolean expression: {expr!r}")
+
+
+def evaluate_filter(filter_or_path: XPathFilter | LocationPath, document: Document) -> bool:
+    """True iff the filter selects at least one node of *document*."""
+    path = filter_or_path.path if isinstance(filter_or_path, XPathFilter) else filter_or_path
+    return bool(_select(path, _RootNode(document)))
+
+
+def matching_oids(workload: Iterable[XPathFilter], document: Document) -> set[str]:
+    """Oids of the workload filters matching *document* — the problem's
+    required output (Sec. 2), computed the slow, obviously-correct way."""
+    return {f.oid for f in workload if evaluate_filter(f, document)}

@@ -1,0 +1,182 @@
+"""Workload updates without full recomputation (Sec. 8).
+
+The paper sketches two ways to update the XPath workload:
+
+1. **Brute force** — reset the lazy machine and restart with empty
+   tables ("equivalent to flushing an entire cache");
+2. **Layered insertion** — "To insert a new XPath filter, build a new
+   XPush machine on top of the old XPush machine and the new XPath
+   expression.  The states in the new XPush machine are very small:
+   they contain at most one state from the old XPush machine and a few
+   AFA states from the new XPath filter."
+
+:class:`LayeredFilterEngine` realises the second idea with an
+equivalent factored construction: the established workload keeps its
+fully-warmed *base* machine, and filters inserted since the last
+compaction live in a small *delta* machine.  A composite state of the
+paper's layered machine is exactly a pair (base state, delta state);
+running the two machines side by side over the same event stream
+maintains precisely those pairs without materialising the product, and
+the answer is the union of the layers' answers.  The expensive, warmed
+base tables are never touched by an insertion.
+
+Deletions are tombstones (dropped from answers immediately); calling
+:meth:`compact` folds the delta and the tombstones into a fresh base
+(the brute-force path, amortised to once per epoch).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable
+
+from repro.afa.build import build_workload_automata
+from repro.errors import WorkloadError
+from repro.xmlstream.dtd import DTD
+from repro.xmlstream.dom import Document
+from repro.xmlstream.events import Event, events_of_document
+from repro.xmlstream.parser import iterparse
+from repro.xpath.ast import XPathFilter
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+
+
+class LayeredFilterEngine:
+    """An updatable filtering engine: base layer + insertion layer.
+
+    >>> engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    >>> engine.insert("b", "//y[z = 1]")
+    >>> sorted(engine.filter_text("<y><z>1</z></y>")[0])
+    ['b']
+    """
+
+    def __init__(
+        self,
+        filters: list[XPathFilter],
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+        compact_threshold: int = 64,
+    ):
+        self.options = options or XPushOptions()
+        self.dtd = dtd
+        #: Insertions accumulated since the last compaction.
+        self.compact_threshold = compact_threshold
+        self._base_filters: dict[str, XPathFilter] = {}
+        for xpath_filter in filters:
+            if xpath_filter.oid in self._base_filters:
+                raise WorkloadError(f"duplicate oid {xpath_filter.oid!r}")
+            self._base_filters[xpath_filter.oid] = xpath_filter
+        self._delta_filters: dict[str, XPathFilter] = {}
+        self._tombstones: set[str] = set()
+        self._base = self._build(list(self._base_filters.values()))
+        self._delta: XPushMachine | None = None
+        self.compactions = 0
+        self.insertions = 0
+
+    @classmethod
+    def from_xpath(
+        cls,
+        sources: dict[str, str],
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+    ) -> "LayeredFilterEngine":
+        from repro.xpath.parser import parse_workload
+
+        return cls(parse_workload(sources), options, dtd)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, oid: str, xpath: str) -> None:
+        """Add a filter; only the small delta machine is rebuilt, the
+        warmed base machine and all its states survive untouched."""
+        if oid in self._base_filters or oid in self._delta_filters:
+            if oid not in self._tombstones:
+                raise WorkloadError(f"oid {oid!r} already subscribed")
+        from repro.xpath.parser import parse_xpath
+
+        self._tombstones.discard(oid)
+        self._delta_filters[oid] = parse_xpath(xpath, oid)
+        self._delta = self._build(list(self._delta_filters.values()))
+        self.insertions += 1
+        if len(self._delta_filters) >= self.compact_threshold:
+            self.compact()
+
+    def remove(self, oid: str) -> None:
+        """Delete a filter.  Cheap: a tombstone filters the answers; the
+        machines are untouched until the next compaction."""
+        if oid not in self._base_filters and oid not in self._delta_filters:
+            raise WorkloadError(f"unknown oid {oid!r}")
+        if oid in self._tombstones:
+            raise WorkloadError(f"oid {oid!r} already removed")
+        self._tombstones.add(oid)
+
+    def compact(self) -> None:
+        """Fold delta and tombstones into a fresh base machine — the
+        paper's brute-force reset, amortised over an epoch of updates."""
+        merged = {**self._base_filters, **self._delta_filters}
+        for oid in self._tombstones:
+            merged.pop(oid, None)
+        self._base_filters = merged
+        self._delta_filters = {}
+        self._tombstones = set()
+        self._base = self._build(list(merged.values()))
+        self._delta = None
+        self.compactions += 1
+
+    def _build(self, filters: list[XPathFilter]) -> XPushMachine | None:
+        if not filters:
+            return None
+        return XPushMachine(
+            build_workload_automata(filters), self.options, dtd=self.dtd
+        )
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    @property
+    def filter_count(self) -> int:
+        return (
+            len(self._base_filters)
+            + len(self._delta_filters)
+            - len(self._tombstones)
+        )
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        matched: set[str] = set()
+        if self._base is not None:
+            matched |= self._base.filter_document(document)
+        if self._delta is not None:
+            matched |= self._delta.filter_document(document)
+        matched -= self._tombstones
+        return frozenset(matched)
+
+    def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
+        events = list(events)
+        layers = [m for m in (self._base, self._delta) if m is not None]
+        if not layers:
+            count = sum(1 for e in events if type(e).__name__ == "EndDocument")
+            return [frozenset()] * count
+        answers = [machine.process_events(iter(events)) for machine in layers]
+        out = []
+        for per_doc in zip(*answers):
+            merged: set[str] = set()
+            for part in per_doc:
+                merged |= part
+            out.append(frozenset(merged - self._tombstones))
+        return out
+
+    def filter_text(self, source: str | bytes | IO) -> list[frozenset[str]]:
+        return self.filter_events(iterparse(source))
+
+    def stats(self) -> dict:
+        return {
+            "base_filters": len(self._base_filters),
+            "delta_filters": len(self._delta_filters),
+            "tombstones": len(self._tombstones),
+            "base_states": self._base.state_count if self._base else 0,
+            "delta_states": self._delta.state_count if self._delta else 0,
+            "insertions": self.insertions,
+            "compactions": self.compactions,
+        }

@@ -1,0 +1,467 @@
+"""The lazy XPush Machine (Sec. 3-5).
+
+Execution follows Fig. 2 exactly: the machine keeps a current state
+``(qt, qb)`` and a stack of states; ``startElement`` pushes and moves
+top-down, ``text`` applies ``t_value``, ``endElement`` applies
+``t_pop`` then merges into the popped parent state with ``t_badd``,
+``endDocument`` returns ``t_accept(qb)``.
+
+Deviation from the literal Fig. 2, documented in DESIGN.md: ``text``
+*merges* (``qb ← t_badd(qb, t_value(qt, str))``) instead of
+overwriting, so ``<a c="2">1</a>`` — which Sec. 3.2 explicitly promises
+to process — keeps the attribute-derived matches.  Mixed content is
+rejected, as the paper assumes.
+
+All six transition functions are computed lazily and memoised on the
+interned states (Sec. 4): the first time a (state, event) pair occurs
+there is "a relatively high cost", recovered on every reuse; the hit
+counters quantify it (Fig. 8).
+
+The Sec. 5 optimisations are selected with
+:class:`repro.xpush.options.XPushOptions`:
+
+- *top-down pruning* tracks enabled AFA states in ``qt`` and restricts
+  ``t_value`` to them;
+- *order optimisation* makes ``t_badd`` drop states whose DTD-mandated
+  preceding siblings have not matched;
+- *early notification* reports a filter as soon as its notification
+  state matches an enabled node, strips that filter's states from the
+  stored pop results, and intersects pop results with the parent's
+  enabled set (the ``//`` fix the paper prescribes);
+- *training* warms the machine on workload-derived documents.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import IO, Iterable, Iterator
+
+from repro.afa.automaton import StateKind, WorkloadAutomata
+from repro.afa.build import build_workload_automata
+from repro.afa.index import AtomicPredicateIndex
+from repro.errors import EventStreamError, MixedContentError, WorkloadError
+from repro.xmlstream.dom import Document
+from repro.xmlstream.dtd import DTD
+from repro.xmlstream.events import Event, dispatch, events_of_document
+from repro.xmlstream.parser import count_bytes, iterparse
+from repro.xpath.ast import XPathFilter
+from repro.xpath.parser import parse_workload
+from repro.xpush.options import XPushOptions
+from repro.xpush.state import StateStore, XPushState, XPushTopState
+from repro.xpush.stats import MachineStats
+
+
+def compute_precedence(workload: WorkloadAutomata, dtd: DTD) -> dict[int, frozenset[int]]:
+    """``prec(s)`` of Sec. 5: for ε-children of the same AND state,
+    ``s' ≺ s`` when every outgoing label of s' must precede every
+    outgoing label of s under the DTD sibling order.  States with
+    wildcard transitions or no label transitions are incomparable."""
+    order = dtd.sibling_order()
+    prec: dict[int, set[int]] = {}
+    states = workload.states
+    for state in states:
+        if state.kind is not StateKind.AND:
+            continue
+        labelled: dict[int, frozenset[str]] = {}
+        for child in state.eps:
+            labels = states[child].outgoing_labels()
+            if labels and "*" not in labels and "@*" not in labels:
+                labelled[child] = labels
+        children = list(labelled)
+        for left in children:
+            for right in children:
+                if left == right:
+                    continue
+                if all(
+                    (x, y) in order for x in labelled[left] for y in labelled[right]
+                ):
+                    prec.setdefault(right, set()).add(left)
+    return {sid: frozenset(sources) for sid, sources in prec.items()}
+
+
+class XPushMachine:
+    """Evaluate a workload of XPath filters over XML streams.
+
+    Typical use::
+
+        machine = XPushMachine.from_xpath({
+            "o1": "//a[b/text()=1 and .//a[@c>2]]",
+            "o2": "//a[@c>2 and b/text()=1]",
+        })
+        results = machine.filter_stream(xml_text)   # one oid-set per doc
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadAutomata,
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+        training_seed: int = 0,
+    ):
+        self.workload = workload
+        self.options = options or XPushOptions()
+        self.dtd = dtd
+        if self.options.order and dtd is None:
+            raise WorkloadError("order optimisation requires a DTD")
+        self.stats = MachineStats()
+
+        self.index = AtomicPredicateIndex()
+        for sid in workload.terminals:
+            self.index.add(workload.states[sid].predicate, sid)
+        self.index.freeze()
+
+        self._prec = compute_precedence(workload, dtd) if self.options.order else None
+        self._notification_sids = frozenset(
+            afa.notification for afa in workload.afas if afa.notification >= 0
+        )
+
+        self.store = StateStore(
+            accepts_of=workload.accepted_oids,
+            terminal_sids=frozenset(workload.terminals),
+        )
+        if self.options.top_down:
+            enabled = workload.epsilon_closure({afa.initial for afa in workload.afas})
+            self.qt0 = self.store.intern_top(enabled)
+        else:
+            self.qt0 = self.store.intern_top(None)
+
+        # Sec. 4, "State Precomputation": in the bottom-up machine the
+        # atomic predicate index and the t_value states are precomputed.
+        if self.options.precompute_values and not self.options.top_down:
+            self.index.precompute()
+            for key, sids in list(self.index._cache.items()):
+                state = self.store.intern_bottom(sids)
+                self.qt0.value_table.setdefault(key, state)
+
+        # Per-document registers (Fig. 2).  ``_content`` tracks what the
+        # open element contains so far (0 nothing, 1 text, 2 element
+        # children) to reject mixed content structurally — the paper's
+        # "no mixed content" assumption (Sec. 3.2).
+        self._qt: XPushTopState = self.qt0
+        self._qb: XPushState = self.store.empty
+        self._stack: list[tuple[XPushTopState, XPushState, int]] = []
+        self._content = 0
+        self._early: set[str] = set()
+        self._results: list[frozenset[str]] = []
+        #: Optional push-mode sink: called as ``on_result(index, oids)``
+        #: the moment each document finishes — lets brokers route
+        #: packets without buffering the results list.
+        self.on_result = None
+
+        if self.options.train:
+            self.warm_up(seed=training_seed)
+
+    # ------------------------------------------------------------------
+    # Construction conveniences
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "XPushMachine":
+        """A fresh machine over the same (shared, immutable) workload
+        automata with empty tables — e.g. one per worker thread, since
+        a machine instance itself is not thread-safe."""
+        return XPushMachine(self.workload, self.options, self.dtd)
+
+    @classmethod
+    def from_filters(
+        cls,
+        filters: list[XPathFilter],
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+    ) -> "XPushMachine":
+        return cls(build_workload_automata(filters), options, dtd)
+
+    @classmethod
+    def from_xpath(
+        cls,
+        sources: dict[str, str] | list[str],
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+    ) -> "XPushMachine":
+        """Build a machine straight from XPath source strings."""
+        return cls.from_filters(parse_workload(sources), options, dtd)
+
+    # ------------------------------------------------------------------
+    # SAX callbacks (Fig. 2)
+    # ------------------------------------------------------------------
+
+    def start_document(self) -> None:
+        self.stats.events += 1
+        self._qt = self.qt0
+        self._qb = self.store.empty
+        self._stack = []
+        self._content = 0
+        self._early = set()
+
+    def start_element(self, label: str) -> None:
+        stats = self.stats
+        stats.events += 1
+        is_attribute = label.startswith("@")
+        if not is_attribute and self._content == 1:
+            raise MixedContentError(
+                f"element <{label}> opened after text in the same parent"
+            )
+        qt = self._qt
+        self._stack.append(
+            (qt, self._qb, self._content if is_attribute else 2)
+        )
+        self._content = 0
+        stats.lookups += 1
+        nxt = qt.push_table.get(label)
+        if nxt is None:
+            nxt = self._compute_push(qt, label)
+        else:
+            stats.hits += 1
+        self._qt = nxt
+        self._qb = self.store.empty
+
+    def text(self, value: str) -> None:
+        stats = self.stats
+        stats.events += 1
+        if self._content == 2:
+            raise MixedContentError("text after element children in the same parent")
+        self._content = 1
+        qt = self._qt
+        key = self.index.key_of(value)
+        stats.lookups += 1
+        terminal_state = qt.value_table.get(key)
+        if terminal_state is None:
+            terminal_state = self._compute_value(qt, key, value)
+        else:
+            stats.hits += 1
+        if terminal_state.sids:
+            self._qb = self._badd(self._qb, terminal_state)
+
+    def end_element(self, label: str) -> None:
+        stats = self.stats
+        stats.events += 1
+        if not self._stack:
+            raise EventStreamError(
+                f"endElement({label}) with no open element: unbalanced event stream"
+            )
+        qb = self._qb
+        qt = self._qt
+        parent_qt, parent_qb, parent_content = self._stack[-1]
+        if self.options.early:
+            pop_key = (label, qt.uid, parent_qt.uid)
+        else:
+            pop_key = label
+        stats.lookups += 1
+        entry = qb.pop_table.get(pop_key)
+        if entry is None:
+            entry = self._compute_pop(qb, label, qt, parent_qt, pop_key)
+        else:
+            stats.hits += 1
+        lifted, notified = entry
+        if notified:
+            self._early.update(notified)
+        self._stack.pop()
+        self._qt = parent_qt
+        self._content = parent_content
+        self._qb = self._badd(parent_qb, lifted)
+
+    def end_document(self) -> frozenset[str]:
+        self.stats.events += 1
+        if self._stack:
+            raise EventStreamError(
+                f"endDocument with {len(self._stack)} unclosed element(s)"
+            )
+        self.stats.documents += 1
+        accepted = self._qb.accepts
+        if self._early:
+            accepted = accepted | frozenset(self._early)
+        self._results.append(accepted)
+        if self.on_result is not None:
+            self.on_result(len(self._results) - 1, accepted)
+        # Memory management (Sec. 6): document boundaries are the safe
+        # points to flush — no stack, no live registers into the tables.
+        limit = self.options.max_states
+        if limit is not None and self.store.bottom_count > limit:
+            self.reset_tables()
+            self.stats.flushes += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    # Lazy transition computation
+    # ------------------------------------------------------------------
+
+    def _compute_push(self, qt: XPushTopState, label: str) -> XPushTopState:
+        self.stats.push_computed += 1
+        if qt.sids is None:
+            nxt = qt  # single top-down state, as in the Sec. 3.2 machine
+        else:
+            targets = self.workload.push_targets(qt.sids, label, label.startswith("@"))
+            nxt = self.store.intern_top(self.workload.epsilon_closure(targets))
+        qt.push_table[label] = nxt
+        return nxt
+
+    def _compute_value(self, qt: XPushTopState, key, value: str) -> XPushState:
+        self.stats.value_computed += 1
+        sids = self.index.lookup(value)
+        if qt.sids is not None:
+            sids = sids & qt.sids
+        state = self.store.intern_bottom(sids)
+        qt.value_table[key] = state
+        return state
+
+    def _compute_pop(
+        self,
+        qb: XPushState,
+        label: str,
+        qt: XPushTopState,
+        parent_qt: XPushTopState,
+        pop_key,
+    ) -> tuple[XPushState, frozenset[str]]:
+        self.stats.pop_computed += 1
+        workload = self.workload
+        evaluated = workload.eval_closure(qb.sids)
+        lifted = workload.delta_inverse(evaluated, label, label.startswith("@"))
+        notified: frozenset[str] = frozenset()
+        if self.options.early:
+            if parent_qt.sids is not None:
+                lifted &= parent_qt.sids
+            noted = self._noted_sids(evaluated, qt)
+            if noted:
+                notified = workload.notified_oids(noted)
+                lifted -= workload.afa_states_of(noted)
+        state = self.store.intern_bottom(lifted)
+        entry = (state, notified)
+        qb.pop_table[pop_key] = entry
+        return entry
+
+    def _noted_sids(self, evaluated: frozenset[int], qt: XPushTopState) -> list[int]:
+        """Notification states that matched the closing node.
+
+        A notification state only counts when it is *enabled* at the
+        node: absence-driven connectives (NOT, or an OR/AND with a NOT
+        somewhere beneath) can appear in eval() at unrelated nodes, and
+        presence-driven ones are enabled anyway.  A skipped notification
+        is safe — the ordinary bottom-up path still matches the filter.
+        """
+        return [sid for sid in self._notification_sids & evaluated if qt.enables(sid)]
+
+    def _badd(self, qbs: XPushState, qaux: XPushState) -> XPushState:
+        if not qaux.sids:
+            return qbs
+        stats = self.stats
+        stats.lookups += 1
+        out = qbs.add_table.get(qaux.uid)
+        if out is not None:
+            stats.hits += 1
+            return out
+        stats.add_computed += 1
+        prec = self._prec
+        if prec:
+            parent_set = qbs.sid_set
+            kept = [
+                sid
+                for sid in qaux.sids
+                if sid in parent_set or self._prec_ok(sid, parent_set)
+            ]
+            merged = parent_set.union(kept)
+        else:
+            merged = qbs.sid_set | qaux.sid_set
+        out = self.store.intern_bottom(merged)
+        qbs.add_table[qaux.uid] = out
+        return out
+
+    def _prec_ok(self, sid: int, parent_set: frozenset[int]) -> bool:
+        required = self._prec.get(sid)
+        return required is None or required <= parent_set
+
+    # ------------------------------------------------------------------
+    # Driving the machine
+    # ------------------------------------------------------------------
+
+    def process_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
+        """Run a stream of events; returns one oid-set per document."""
+        mark = len(self._results)
+        dispatch(events, self)
+        return self._results[mark:]
+
+    def filter_stream(self, source: str | bytes | IO) -> list[frozenset[str]]:
+        """Parse and filter a (possibly multi-document) XML text."""
+        if isinstance(source, str):
+            self.stats.bytes_processed += count_bytes(source)
+        elif isinstance(source, bytes):
+            self.stats.bytes_processed += len(source)
+        return self.process_events(iterparse(source))
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        """Filter one in-memory document (used by tests and baselines)."""
+        return self.process_events(events_of_document(document))[0]
+
+    def results(self) -> list[frozenset[str]]:
+        """All per-document answers produced so far."""
+        return list(self._results)
+
+    def clear_results(self) -> None:
+        self._results.clear()
+
+    # ------------------------------------------------------------------
+    # Training (Sec. 5) and memory management (Sec. 8)
+    # ------------------------------------------------------------------
+
+    def warm_up(self, seed: int = 0) -> int:
+        """Run the machine over workload-derived training documents
+        (Sec. 5, "Training the XPush Machine"); returns the number of
+        training documents processed.  Results are discarded and the
+        stats counters reset: training is setup, so hit ratios and
+        event counts reflect real data only — but the states created
+        during training remain in the store and are counted by
+        ``state_count`` (exactly how Fig. 6 counts them: "additional
+        states created during the training phase")."""
+        from repro.xpush.training import training_documents
+
+        documents = training_documents(
+            self.workload, self.dtd, rng=random.Random(seed)
+        )
+        count = 0
+        for document in documents:
+            self.process_events(events_of_document(document))
+            count += 1
+        if count:
+            del self._results[-count:]
+        self.stats.reset()
+        return count
+
+    def reset_tables(self) -> None:
+        """Flush all states and tables (the paper's brute-force update
+        path: "equivalent to flushing an entire cache").  The atomic
+        predicate index survives — it is workload-derived, not
+        data-derived — and precomputed ``t_value`` states are re-seeded
+        from it when the machine was built with precomputation."""
+        self.store.reset()
+        if self.options.top_down:
+            enabled = self.workload.epsilon_closure(
+                {afa.initial for afa in self.workload.afas}
+            )
+            self.qt0 = self.store.intern_top(enabled)
+        else:
+            self.qt0 = self.store.intern_top(None)
+        if self.options.precompute_values and not self.options.top_down:
+            for key, sids in list(self.index._cache.items()):
+                self.qt0.value_table.setdefault(key, self.store.intern_bottom(sids))
+        self._qt = self.qt0
+        self._qb = self.store.empty
+        self._stack = []
+        self._content = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """Number of (bottom-up) XPush states created so far (Fig. 6)."""
+        return self.store.bottom_count
+
+    @property
+    def average_state_size(self) -> float:
+        """Average AFA states per XPush state (Fig. 7)."""
+        return self.store.average_bottom_size
+
+    def describe(self) -> str:
+        return (
+            f"XPushMachine[{self.options.describe()}]: "
+            f"{len(self.workload.afas)} filters, "
+            f"{self.workload.state_count} AFA states, "
+            f"{self.store.bottom_count} XPush states"
+        )

@@ -1,0 +1,101 @@
+"""Optimisation switches for the XPush machine (Sec. 5).
+
+The four heuristics of Sec. 5 compose freely, with two dependencies
+the paper states and we enforce:
+
+- **early notification** requires **top-down pruning** ("for this
+  technique to be correct we must turn on top-down pruning") and
+  implies the pop/top-down intersection that makes ``//`` safe;
+- the **order optimisation** needs a DTD to extract the sibling order
+  from (pass it to the machine).
+
+``VARIANTS`` names the series plotted in Figs. 5-7 and 9-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class XPushOptions:
+    """Which Sec. 5 optimisations the machine applies.
+
+    Attributes:
+        top_down: top-down pruning — the machine tracks the set of
+            *enabled* AFA states per node and starts bottom-up
+            computation only at enabled branches.
+        order: order optimisation — ``t_badd`` drops a state whose
+            DTD-mandated preceding siblings have not matched.
+        early: early notification — report a filter as soon as its
+            first branching AFA state matches, and strip that filter's
+            states from subsequent XPush states.
+        train: run the machine over workload-derived training documents
+            before real data (Sec. 5, "Training the XPush Machine").
+        precompute_values: eagerly materialise the atomic predicate
+            index answers / ``t_value`` states (Sec. 4, "State
+            Precomputation").  The paper precomputes these in the basic
+            machine but cannot when top-down pruning is on (the Sec. 7
+            discussion of the TD-only series); we follow that rule at
+            machine construction.
+        max_states: memory management for unbounded streams (Theorem
+            6.2 shows states grow linearly with the number of
+            documents; Sec. 6: "we need some form of memory management
+            in order to process infinite streams").  When the store
+            exceeds this many bottom-up states at a document boundary,
+            all states and tables are flushed — the machine "can be
+            deleted when we run out of memory and recomputed later"
+            (the cache view of Sec. 7).  None = unbounded.
+    """
+
+    top_down: bool = False
+    order: bool = False
+    early: bool = False
+    train: bool = False
+    precompute_values: bool = True
+    max_states: int | None = None
+
+    def __post_init__(self):
+        if self.early and not self.top_down:
+            raise ValueError("early notification requires top-down pruning (Sec. 5)")
+        if self.max_states is not None and self.max_states < 1:
+            raise ValueError("max_states must be positive")
+
+    def describe(self) -> str:
+        parts = [
+            name
+            for flag, name in [
+                (self.top_down, "top-down"),
+                (self.order, "order"),
+                (self.early, "early"),
+                (self.train, "train"),
+            ]
+            if flag
+        ]
+        return "+".join(parts) if parts else "basic"
+
+
+#: The named machine variants used as series in the paper's figures.
+VARIANTS: dict[str, XPushOptions] = {
+    "basic": XPushOptions(),
+    "TD": XPushOptions(top_down=True, precompute_values=False),
+    "order": XPushOptions(order=True),
+    "TD-order": XPushOptions(top_down=True, order=True, precompute_values=False),
+    "TD-train": XPushOptions(top_down=True, train=True, precompute_values=False),
+    "TD-order-train": XPushOptions(top_down=True, order=True, train=True, precompute_values=False),
+    "TD-order-early-train": XPushOptions(
+        top_down=True, order=True, early=True, train=True, precompute_values=False
+    ),
+}
+
+
+def variant_options(name: str) -> XPushOptions:
+    """Options for a named variant (see :data:`VARIANTS`)."""
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise ValueError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}") from None
+
+
+def with_training(options: XPushOptions, train: bool = True) -> XPushOptions:
+    return replace(options, train=train)

@@ -1,0 +1,147 @@
+"""Interned XPush states and their transition tables (Sec. 4).
+
+The paper represents an XPush state as "a sorted array of AFA states,
+plus a 32 bit signature (hash value)", with all discovered states stored
+"in a hash table indexed by their signature", and the six transition
+functions as arrays of hash tables hanging off the states.  This module
+is the Python equivalent:
+
+- a bottom-up state (:class:`XPushState`) is an interned sorted tuple of
+  AFA sids with its ``t_pop`` and ``t_badd`` memo tables, plus the
+  precomputed ``t_accept`` answer and the early-notification payload;
+- a top-down state (:class:`XPushTopState`) is an interned frozenset of
+  *enabled* AFA sids with its ``t_push`` and ``t_value`` memo tables
+  (without top-down pruning there is exactly one, matching the paper's
+  single-``qt0`` bottom-up machine);
+- :class:`StateStore` is the signature-indexed intern table; it also
+  carries the counters (states created, sizes) behind Figs. 6/7/10/11.
+
+Interning means state identity *is* set equality, so every memo table
+can key on the interned object's ``uid`` — each SAX event costs a few
+dict probes once the relevant states exist, which is the O(1) per-event
+claim of Sec. 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class XPushState:
+    """One interned bottom-up state: a set of matched AFA subqueries."""
+
+    __slots__ = (
+        "uid",
+        "sids",
+        "sid_set",
+        "pop_table",
+        "add_table",
+        "accepts",
+        "contains_terminal",
+    )
+
+    def __init__(self, uid: int, sids: tuple[int, ...], accepts: frozenset[str], contains_terminal: bool):
+        self.uid = uid
+        self.sids = sids  # sorted tuple — the paper's sorted array
+        self.sid_set = frozenset(sids)
+        # t_pop memo: pop key -> (resulting state, oids notified early)
+        self.pop_table: dict[Hashable, tuple["XPushState", frozenset[str]]] = {}
+        # t_badd memo: other state uid -> resulting state
+        self.add_table: dict[Hashable, "XPushState"] = {}
+        self.accepts = accepts  # t_accept, precomputed at intern time
+        self.contains_terminal = contains_terminal
+
+    def __len__(self) -> int:
+        return len(self.sids)
+
+    def __repr__(self) -> str:
+        preview = ",".join(str(s) for s in self.sids[:8])
+        if len(self.sids) > 8:
+            preview += ",…"
+        return f"<Qb#{self.uid} {{{preview}}}>"
+
+
+class XPushTopState:
+    """One interned top-down state: the set of *enabled* AFA states.
+
+    ``sids`` is None in the unpruned machine — the single top-down state
+    ``qt0`` of Sec. 3.2, where every AFA state counts as enabled.
+    """
+
+    __slots__ = ("uid", "sids", "push_table", "value_table")
+
+    def __init__(self, uid: int, sids: frozenset[int] | None):
+        self.uid = uid
+        self.sids = sids
+        self.push_table: dict[str, "XPushTopState"] = {}  # t_push memo
+        self.value_table: dict[Hashable, "XPushState"] = {}  # t_value memo
+
+    def enables(self, sid: int) -> bool:
+        return self.sids is None or sid in self.sids
+
+    def __repr__(self) -> str:
+        if self.sids is None:
+            return f"<Qt#{self.uid} ALL>"
+        return f"<Qt#{self.uid} |{len(self.sids)}|>"
+
+
+class StateStore:
+    """Intern tables for bottom-up and top-down states, with counters."""
+
+    def __init__(self, accepts_of, terminal_sids: frozenset[int]):
+        """``accepts_of(sids)`` computes t_accept for a new state;
+        *terminal_sids* flags states containing predicate terminals
+        (used for the no-mixed-content rule)."""
+        self._accepts_of = accepts_of
+        self._terminal_sids = terminal_sids
+        self._bottom: dict[tuple[int, ...], XPushState] = {}
+        self._top: dict[frozenset[int] | None, XPushTopState] = {}
+        self.bottom_size_total = 0  # sum of |state| over created states
+        self.empty = self.intern_bottom(())
+
+    # -- bottom-up -------------------------------------------------------
+
+    def intern_bottom(self, sids: Iterable[int]) -> XPushState:
+        key = tuple(sorted(sids))
+        state = self._bottom.get(key)
+        if state is None:
+            contains_terminal = any(sid in self._terminal_sids for sid in key)
+            state = XPushState(len(self._bottom), key, self._accepts_of(key), contains_terminal)
+            self._bottom[key] = state
+            self.bottom_size_total += len(key)
+        return state
+
+    @property
+    def bottom_count(self) -> int:
+        return len(self._bottom)
+
+    @property
+    def average_bottom_size(self) -> float:
+        """Average number of AFA states per XPush state (Figs. 7/11)."""
+        if not self._bottom:
+            return 0.0
+        return self.bottom_size_total / len(self._bottom)
+
+    def bottom_states(self) -> list[XPushState]:
+        return list(self._bottom.values())
+
+    # -- top-down --------------------------------------------------------
+
+    def intern_top(self, sids: frozenset[int] | None) -> XPushTopState:
+        state = self._top.get(sids)
+        if state is None:
+            state = XPushTopState(len(self._top), sids)
+            self._top[sids] = state
+        return state
+
+    @property
+    def top_count(self) -> int:
+        return len(self._top)
+
+    def reset(self) -> None:
+        """Drop every state and table — the paper's "brute force" update
+        path (Sec. 8): equivalent to flushing an entire cache."""
+        self._bottom.clear()
+        self._top.clear()
+        self.bottom_size_total = 0
+        self.empty = self.intern_bottom(())

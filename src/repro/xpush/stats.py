@@ -1,0 +1,63 @@
+"""Runtime counters for the XPush machine — the raw material of the
+paper's evaluation (Sec. 7).
+
+- state counts and average state size → Figs. 6, 7, 10, 11;
+- table lookups vs hits ("One can think of the XPush machine as a
+  cache") → the hit ratio of Fig. 8;
+- events and bytes processed → throughput (the abstract's MB/s claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MachineStats:
+    """Mutable counters updated on the machine's hot path."""
+
+    events: int = 0
+    documents: int = 0
+    bytes_processed: int = 0
+    lookups: int = 0  # probes of t_push/t_value/t_pop/t_badd tables
+    hits: int = 0  # probes answered from an existing entry
+    pop_computed: int = 0
+    add_computed: int = 0
+    value_computed: int = 0
+    push_computed: int = 0
+    flushes: int = 0  # table resets triggered by options.max_states
+
+    @property
+    def hit_ratio(self) -> float:
+        """Successful lookups / total lookups (Fig. 8)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "events": self.events,
+            "documents": self.documents,
+            "bytes": self.bytes_processed,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "hit_ratio": self.hit_ratio,
+            "pop_computed": self.pop_computed,
+            "add_computed": self.add_computed,
+            "value_computed": self.value_computed,
+            "push_computed": self.push_computed,
+            "flushes": self.flushes,
+        }
+
+    def reset(self) -> None:
+        for name in (
+            "events",
+            "documents",
+            "bytes_processed",
+            "lookups",
+            "hits",
+            "pop_computed",
+            "add_computed",
+            "value_computed",
+            "push_computed",
+            "flushes",
+        ):
+            setattr(self, name, 0)

@@ -1,0 +1,93 @@
+"""Execution tracing: the Fig. 3 trace table for the lazy machine.
+
+The paper illustrates the machine with a trace showing, after every
+event, the current bottom-up state and the stack.  This module wraps an
+:class:`~repro.xpush.machine.XPushMachine` and records exactly that —
+invaluable when debugging a filter that "should have" matched, and used
+by the tests to check the machine against the paper's published trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlstream.dom import Document
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+    events_of_document,
+)
+from repro.xpush.machine import XPushMachine
+
+
+@dataclass(frozen=True)
+class TraceRow:
+    """State of the machine after one event."""
+
+    event: str  # e.g. 'startElement(a)', 'text(1)'
+    state_sids: tuple[int, ...]  # current bottom-up state (AFA sids)
+    stack_sids: tuple[tuple[int, ...], ...]  # bottom-up stack, bottom first
+    enabled: int | None  # |enabled set| under top-down pruning
+    accepts: tuple[str, ...]  # t_accept of the current state
+
+    def render(self) -> str:
+        state = "{" + ",".join(map(str, self.state_sids)) + "}"
+        stack = " ".join("{" + ",".join(map(str, sids)) + "}" for sids in self.stack_sids)
+        suffix = f"  accepts={','.join(self.accepts)}" if self.accepts else ""
+        return f"{self.event:<24} {state:<24} stack: {stack}{suffix}"
+
+
+def _describe(event: Event) -> str:
+    kind = type(event)
+    if kind is StartElement:
+        return f"startElement({event.label})"
+    if kind is Text:
+        return f"text({event.value.strip()})"
+    if kind is EndElement:
+        return f"endElement({event.label})"
+    if kind is StartDocument:
+        return "startDocument()"
+    return "endDocument()"
+
+
+def trace_document(machine: XPushMachine, document: Document) -> tuple[frozenset[str], list[TraceRow]]:
+    """Run *document* through *machine*, recording a row per event.
+
+    Returns (accepted oids, trace rows).  The machine's state store and
+    statistics are updated as in a normal run.
+    """
+    rows: list[TraceRow] = []
+    accepted: frozenset[str] = frozenset()
+    for event in events_of_document(document):
+        kind = type(event)
+        if kind is StartElement:
+            machine.start_element(event.label)
+        elif kind is Text:
+            machine.text(event.value)
+        elif kind is EndElement:
+            machine.end_element(event.label)
+        elif kind is StartDocument:
+            machine.start_document()
+        else:
+            accepted = machine.end_document()
+        qb = machine._qb
+        qt = machine._qt
+        rows.append(
+            TraceRow(
+                event=_describe(event),
+                state_sids=qb.sids,
+                stack_sids=tuple(entry[1].sids for entry in machine._stack),
+                enabled=len(qt.sids) if qt.sids is not None else None,
+                accepts=tuple(sorted(qb.accepts)),
+            )
+        )
+    return accepted, rows
+
+
+def render_trace(rows: list[TraceRow]) -> str:
+    """The whole trace as printable text (one row per event)."""
+    return "\n".join(row.render() for row in rows)

@@ -1,0 +1,59 @@
+"""Tests for the from-scratch Aho-Corasick matcher."""
+
+import random
+
+import pytest
+
+from repro.afa.ahocorasick import AhoCorasick
+
+
+def brute_match_set(patterns, text):
+    return frozenset(i for i, p in enumerate(patterns) if p in text)
+
+
+def test_basic_matching():
+    patterns = ["he", "she", "his", "hers"]
+    matcher = AhoCorasick(patterns)
+    assert matcher.match_set("ushers") == brute_match_set(patterns, "ushers")
+    assert matcher.match_set("ushers") == {0, 1, 3}
+
+
+def test_overlapping_patterns():
+    patterns = ["aa", "aaa", "aaaa"]
+    matcher = AhoCorasick(patterns)
+    assert matcher.match_set("aaaa") == {0, 1, 2}
+    assert matcher.match_set("aa") == {0}
+
+
+def test_no_match():
+    matcher = AhoCorasick(["xyz"])
+    assert matcher.match_set("abcdef") == frozenset()
+    assert matcher.match_set("") == frozenset()
+
+
+def test_pattern_equal_to_text():
+    matcher = AhoCorasick(["abc"])
+    assert matcher.match_set("abc") == {0}
+
+
+def test_duplicate_patterns_each_reported():
+    matcher = AhoCorasick(["ab", "ab"])
+    assert matcher.match_set("ab") == {0, 1}
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(ValueError):
+        AhoCorasick([""])
+
+
+def test_against_brute_force_randomised():
+    rng = random.Random(7)
+    alphabet = "abc"
+    patterns = [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 4)))
+        for _ in range(12)
+    ]
+    matcher = AhoCorasick(patterns)
+    for _ in range(200):
+        text = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 20)))
+        assert matcher.match_set(text) == brute_match_set(patterns, text), text

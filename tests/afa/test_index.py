@@ -1,0 +1,135 @@
+"""Tests for the atomic predicate index (vs. brute-force scans)."""
+
+import random
+
+import pytest
+
+from repro.afa.index import AtomicPredicateIndex
+from repro.afa.predicates import AtomicPredicate
+
+
+def build_index(predicates):
+    index = AtomicPredicateIndex()
+    for i, predicate in enumerate(predicates):
+        index.add(predicate, i)
+    return index.freeze(), predicates
+
+
+def brute(predicates, value):
+    return frozenset(i for i, p in enumerate(predicates) if p.test(value))
+
+
+def test_numeric_intervals():
+    index, predicates = build_index(
+        [
+            AtomicPredicate("=", 1),
+            AtomicPredicate(">", 2),
+            AtomicPredicate("<", 5),
+            AtomicPredicate(">=", 2),
+            AtomicPredicate("!=", 1),
+        ]
+    )
+    for value in ["0", "1", "1.5", "2", "3", "5", "6", "-7", "1e3"]:
+        assert index.lookup(value) == brute(predicates, value), value
+
+
+def test_paper_value_index():
+    # The Fig. 3 T_value: predicates = 1 and > 2.
+    index, predicates = build_index([AtomicPredicate("=", 1), AtomicPredicate(">", 2)])
+    assert index.lookup("0.5") == frozenset()  # (-inf, 1)
+    assert index.lookup("1") == {0}  # {1}
+    assert index.lookup("1.5") == frozenset()  # (1, 2]
+    assert index.lookup("2") == frozenset()
+    assert index.lookup("3") == {1}  # (2, inf)
+
+
+def test_string_predicates():
+    index, predicates = build_index(
+        [
+            AtomicPredicate("=", "john"),
+            AtomicPredicate(">", "m"),
+            AtomicPredicate("<=", "zz"),
+        ]
+    )
+    for value in ["adam", "john", "mary", "zz", "zzz", ""]:
+        assert index.lookup(value) == brute(predicates, value), value
+
+
+def test_mixed_numeric_and_string():
+    index, predicates = build_index(
+        [AtomicPredicate("=", 5), AtomicPredicate("=", "5"), AtomicPredicate("<", "9")]
+    )
+    # "5" is numeric AND a string: both equality predicates fire.
+    assert index.lookup("5") == brute(predicates, "5") == {0, 1, 2}
+    assert index.lookup("5.0") == brute(predicates, "5.0")  # numeric = only
+
+
+def test_substring_predicates():
+    index, predicates = build_index(
+        [
+            AtomicPredicate("contains", "ell"),
+            AtomicPredicate("starts-with", "he"),
+            AtomicPredicate("=", "hello"),
+        ]
+    )
+    for value in ["hello", "shell", "he", "x"]:
+        assert index.lookup(value) == brute(predicates, value), value
+
+
+def test_key_identifies_equivalence_classes():
+    index, predicates = build_index([AtomicPredicate(">", 2), AtomicPredicate("<", 7)])
+    assert index.key_of("3") == index.key_of("4")
+    assert index.key_of("3") != index.key_of("2")
+    assert index.key_of("2") != index.key_of("8")
+
+
+def test_cache_hits_accumulate():
+    index, _ = build_index([AtomicPredicate("=", 1)])
+    index.lookup("1")
+    index.lookup("1")
+    index.lookup(" 1 ")  # same canonical key
+    assert index.lookups == 3
+    assert index.hits == 2
+    assert 0 < index.hit_ratio < 1
+
+
+def test_precompute_covers_all_intervals():
+    index, predicates = build_index(
+        [AtomicPredicate("=", 1), AtomicPredicate(">", 2), AtomicPredicate("=", "abc")]
+    )
+    cached = index.precompute()
+    assert cached >= 5
+    # Lookups after precompute are all hits for in-range values.
+    before = index.hits
+    index.lookup("1")
+    index.lookup("3")
+    assert index.hits == before + 2
+
+
+def test_add_after_freeze_rejected():
+    index, _ = build_index([AtomicPredicate("=", 1)])
+    with pytest.raises(RuntimeError):
+        index.add(AtomicPredicate("=", 2), 99)
+
+
+def test_lookup_before_freeze_rejected():
+    index = AtomicPredicateIndex()
+    index.add(AtomicPredicate("=", 1), 0)
+    with pytest.raises(RuntimeError):
+        index.lookup("1")
+
+
+def test_randomised_against_brute_force():
+    rng = random.Random(11)
+    predicates = []
+    for _ in range(40):
+        op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
+        if rng.random() < 0.5:
+            predicates.append(AtomicPredicate(op, rng.randint(-5, 5)))
+        else:
+            predicates.append(AtomicPredicate(op, rng.choice("abcde") * rng.randint(1, 3)))
+    index, _ = build_index(predicates)
+    values = [str(rng.randint(-6, 6)) for _ in range(30)]
+    values += ["".join(rng.choice("abcdef") for _ in range(rng.randint(0, 4))) for _ in range(30)]
+    for value in values:
+        assert index.lookup(value) == brute(predicates, value), value

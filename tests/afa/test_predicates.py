@@ -1,0 +1,75 @@
+"""Tests for atomic predicate comparison semantics."""
+
+import pytest
+
+from repro.afa.predicates import AtomicPredicate, canonical_value, compare, parse_number
+
+
+def test_canonicalisation_strips():
+    assert canonical_value("  1 ") == "1"
+    assert compare(" 1 ", "=", 1)
+
+
+def test_numeric_comparisons():
+    assert compare("3", ">", 2)
+    assert compare("3.5", ">=", 3.5)
+    assert not compare("2", ">", 2)
+    assert compare("2", "!=", 3)
+    assert compare("-4", "<", 0)
+    assert compare("10", "=", 10.0)
+
+
+def test_non_numeric_value_fails_numeric_predicate():
+    assert not compare("abc", ">", 2)
+    assert not compare("", "=", 0)
+    assert not compare("3x", "=", 3)
+
+
+def test_string_comparisons():
+    assert compare("abc", "=", "abc")
+    assert compare("abd", ">", "abc")
+    assert compare("ab", "<", "abc")
+    assert not compare("abc", "!=", "abc")
+    # strings compare on the canonical (stripped) value
+    assert compare(" abc ", "=", "abc")
+
+
+def test_string_ops():
+    assert compare("hello", "starts-with", "he")
+    assert not compare("hello", "starts-with", "lo")
+    assert compare("hello", "contains", "ell")
+    assert not compare("hello", "contains", "xyz")
+    with pytest.raises(ValueError):
+        compare("x", "contains", 5)
+
+
+def test_parse_number():
+    assert parse_number("42") == 42.0
+    assert parse_number(" 4.5") == 4.5
+    assert parse_number("nope") is None
+
+
+def test_atomic_predicate_object():
+    predicate = AtomicPredicate(">", 2)
+    assert predicate.test("3")
+    assert not predicate.test("2")
+    assert predicate.is_numeric
+    assert str(predicate) == "> 2"
+
+
+def test_true_predicate():
+    assert AtomicPredicate.TRUE.is_true
+    assert AtomicPredicate.TRUE.test("anything")
+    assert AtomicPredicate.TRUE.test("")
+
+
+def test_invalid_predicates():
+    with pytest.raises(ValueError):
+        AtomicPredicate("~", 1)
+    with pytest.raises(ValueError):
+        AtomicPredicate("=", None)
+
+
+def test_predicate_equality_and_hash():
+    assert AtomicPredicate("=", 1) == AtomicPredicate("=", 1)
+    assert len({AtomicPredicate("=", 1), AtomicPredicate("=", 1)}) == 1

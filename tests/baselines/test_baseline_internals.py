@@ -1,0 +1,66 @@
+"""Edge-case tests for baseline engine internals."""
+
+import pytest
+
+from repro.baselines.xfilter import PerQueryEngine, _QueryRunner
+from repro.baselines.yfilter import SharedPathEngine
+from repro.errors import MixedContentError
+from repro.xmlstream.dom import parse_document
+from repro.xpath.parser import parse_workload, parse_xpath
+
+
+def test_query_runner_state_machine():
+    runner = _QueryRunner(parse_xpath("/a[b = 1]", "q"))
+    runner.start_document()
+    runner.start_element("a")
+    runner.start_element("b")
+    runner.text("1")
+    runner.end_element("b")
+    runner.end_element("a")
+    assert runner.matched()
+    # Fresh document resets the runner.
+    runner.start_document()
+    assert not runner.matched()
+
+
+def test_query_runner_rejects_mixed_content():
+    runner = _QueryRunner(parse_xpath("/a[text() = 1]", "q"))
+    runner.start_document()
+    runner.start_element("a")
+    runner.text("1")
+    with pytest.raises(MixedContentError):
+        runner.start_element("b")
+
+
+def test_per_query_engine_multiple_documents_independent():
+    engine = PerQueryEngine(parse_workload({"q": "//x[y = 1]"}))
+    results = engine.filter_stream("<x><y>1</y></x><x><y>2</y></x><x><y>1</y></x>")
+    assert [bool(r) for r in results] == [True, False, True]
+
+
+def test_shared_path_engine_early_exit_on_all_matched():
+    """Once every query anchored at a leaf trie node has matched, the
+    engine stops scanning further candidates of that step."""
+    engine = SharedPathEngine(parse_workload({"q": "/r/x"}))
+    wide = "<r>" + "<x/>" * 500 + "</r>"
+    assert engine.filter_document(parse_document(wide)) == {"q"}
+
+
+def test_shared_path_engine_self_axis():
+    engine = SharedPathEngine(parse_workload({"q": "//a[. = 5]"}))
+    assert engine.filter_document(parse_document("<a>5</a>")) == {"q"}
+    assert engine.filter_document(parse_document("<a>6</a>")) == frozenset()
+
+
+def test_shared_path_engine_counts():
+    sources = {"a": "/r/x", "b": "/r/x[k = 1]", "c": "/r/y"}
+    engine = SharedPathEngine(parse_workload(sources))
+    assert engine.query_count == 3
+    # /r shared; /r/x shared by a and b (same axis+test); /r/y separate.
+    assert engine.shared_nodes == 3
+
+
+def test_shared_path_engine_anchor_on_attribute():
+    engine = SharedPathEngine(parse_workload({"q": "//x/@id"}))
+    assert engine.filter_document(parse_document('<x id="1"/>')) == {"q"}
+    assert engine.filter_document(parse_document("<x/>")) == frozenset()

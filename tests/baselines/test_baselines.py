@@ -1,0 +1,70 @@
+"""Tests for the baseline engines."""
+
+from repro.baselines import NaiveEngine, PerQueryEngine, SharedPathEngine
+from repro.xmlstream.dom import parse_document
+from repro.xpath.parser import parse_workload
+from repro.xpath.semantics import matching_oids
+
+from tests.conftest import make_workload
+
+
+def filters_for(sources):
+    return parse_workload(sources)
+
+
+def test_naive_engine_basics():
+    engine = NaiveEngine(filters_for({"a": "/x[y = 1]", "b": "//z"}))
+    assert engine.filter_document(parse_document("<x><y>1</y></x>")) == {"a"}
+    assert engine.filter_stream("<x><y>1</y></x><z/>") == [
+        frozenset({"a"}),
+        frozenset({"b"}),
+    ]
+
+
+def test_per_query_engine_streaming():
+    engine = PerQueryEngine(filters_for({"a": "/x[y = 1]", "b": "//z"}))
+    results = engine.filter_stream("<x><y>1</y></x><x><z/></x>")
+    assert results == [frozenset({"a"}), frozenset({"b"})]
+
+
+def test_shared_path_engine_shares_prefixes():
+    sources = {f"q{i}": f"/r/a/b[c = {i}]" for i in range(10)}
+    engine = SharedPathEngine(filters_for(sources))
+    # 10 queries share the 3-step navigation entirely: 3 trie nodes.
+    assert engine.shared_nodes == 3
+    assert engine.query_count == 10
+    doc = parse_document("<r><a><b><c>4</c></b></a></r>")
+    assert engine.filter_document(doc) == {"q4"}
+
+
+def test_shared_path_engine_descendants_and_wildcards():
+    sources = {"a": "//b[c = 1]", "b": "/r/*/b", "c": "//@k"}
+    engine = SharedPathEngine(filters_for(sources))
+    doc = parse_document('<r><x k="0"><b><c>1</c></b></x></r>')
+    assert engine.filter_document(doc) == {"a", "b", "c"}
+
+
+def test_engines_match_reference_on_generated_workloads(protein, protein_docs):
+    filters = make_workload(protein, 30, seed=99)
+    engines = [
+        NaiveEngine(filters),
+        PerQueryEngine(filters),
+        SharedPathEngine(filters),
+    ]
+    for doc in protein_docs[:8]:
+        want = matching_oids(filters, doc)
+        for engine in engines:
+            assert engine.filter_document(doc) == want, engine.name
+
+
+def test_engines_handle_not_and_or(protein):
+    sources = {
+        "u": "/ProteinDatabase/ProteinEntry[not(keywords)]",
+        "v": "//refinfo[year = 1999 or year = 2000]",
+    }
+    filters = filters_for(sources)
+    engines = [NaiveEngine(filters), PerQueryEngine(filters), SharedPathEngine(filters)]
+    for doc in protein.documents(6):
+        want = matching_oids(filters, doc)
+        for engine in engines:
+            assert engine.filter_document(doc) == want, engine.name

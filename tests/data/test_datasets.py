@@ -1,0 +1,74 @@
+"""Tests for the synthetic datasets (paper-profile conformance)."""
+
+from repro.data import NasaDataset, ProteinDataset
+from repro.xmlstream.dom import parse_forest
+
+
+def test_protein_profile(protein):
+    # Paper: "Protein dataset has a non-recursive DTD and the maximum
+    # depth of the document is 7."
+    assert not protein.dtd.is_recursive()
+    assert protein.dtd.max_depth() == 7
+
+
+def test_nasa_profile(nasa):
+    # Paper: "NASA dataset has a recursive DTD, with maximum document
+    # depth equal to 8."
+    assert nasa.dtd.is_recursive()
+    assert all(d.depth() <= 8 for d in nasa.documents(30))
+    assert max(d.depth() for d in nasa.documents(60)) == 8
+
+
+def test_documents_validate(protein, nasa):
+    for doc in protein.documents(10):
+        protein.dtd.validate(doc)
+    for doc in nasa.documents(10):
+        nasa.dtd.validate(doc)
+
+
+def test_determinism():
+    a = ProteinDataset(seed=5).stream_text(4)
+    b = ProteinDataset(seed=5).stream_text(4)
+    c = ProteinDataset(seed=6).stream_text(4)
+    assert a == b
+    assert a != c
+
+
+def test_stream_round_trips(protein):
+    text = protein.stream_text(5)
+    assert len(parse_forest(text)) == 5
+
+
+def test_stream_of_bytes_reaches_target(protein):
+    text = protein.stream_of_bytes(50_000)
+    assert len(text.encode("utf-8")) >= 50_000
+    parse_forest(text)  # well-formed
+
+
+def test_value_pools_cover_leaves(protein):
+    leaves = {
+        name
+        for name, decl in protein.dtd.elements.items()
+        if decl.content.kind == "pcdata"
+    }
+    missing = leaves - set(protein.value_pool)
+    assert not missing, f"leaf labels without value pools: {missing}"
+
+
+def test_value_pools_cover_attributes(protein, nasa):
+    for dataset in (protein, nasa):
+        declared = set(dataset.dtd.attribute_labels())
+        missing = declared - set(dataset.value_pool)
+        assert not missing, f"attributes without value pools: {missing}"
+
+
+def test_values_drawn_from_pools(protein):
+    pools = protein.value_pool
+    for doc in protein.documents(5):
+        for node in doc.root.iter_descendants():
+            if node.text is not None and node.label in pools:
+                assert node.text in pools[node.label], (node.label, node.text)
+            for name, value in node.attributes:
+                key = "@" + name
+                if key in pools:
+                    assert value in pools[key], (key, value)

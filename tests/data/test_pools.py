@@ -1,0 +1,44 @@
+"""Tests for the value-pool machinery."""
+
+import random
+
+from repro.data.pools import PoolDrawer, integer_pool, synthetic_words
+
+
+def test_synthetic_words_deterministic_and_distinct():
+    a = synthetic_words(50, seed=1)
+    b = synthetic_words(50, seed=1)
+    c = synthetic_words(50, seed=2)
+    assert a == b
+    assert a != c
+    assert len(set(a)) == 50
+    assert all(word.isalpha() for word in a)
+
+
+def test_integer_pool():
+    pool = integer_pool(10, 20, 5, seed=3)
+    assert len(pool) == 5
+    assert all(10 <= int(v) <= 20 for v in pool)
+    # Requesting more than the range yields the whole range.
+    assert integer_pool(1, 3, 10, seed=0) == ["1", "2", "3"]
+
+
+def test_pool_drawer_skew():
+    pool = [str(i) for i in range(100)]
+    drawer = PoolDrawer({"x": pool}, skew=2.0)
+    rng = random.Random(0)
+    draws = [int(drawer.draw("x", rng)) for _ in range(2000)]
+    # Skewed towards low indexes: the median draw sits well below 50.
+    draws.sort()
+    assert draws[len(draws) // 2] < 50
+    assert set(draws) <= set(range(100))
+
+
+def test_pool_drawer_missing_label():
+    drawer = PoolDrawer({})
+    assert drawer.draw("ghost", random.Random(0)) == "0"
+
+
+def test_text_for_adapter():
+    drawer = PoolDrawer({"a": ["v1", "v2"]})
+    assert drawer.text_for("a", random.Random(0)) in {"v1", "v2"}

@@ -1,0 +1,60 @@
+"""Properties of the eval() connective closure."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afa.build import build_workload_automata
+from repro.xpath.parser import parse_xpath
+
+SOURCES = [
+    "/a[b = 1 and c = 2]",
+    "/a[b = 1 or not(c = 2)]",
+    "/a[not(not(b = 1))]",
+    "/a[(b = 1 or c = 2) and not(d = 3 and e = 4)]",
+    "//a[b/text()=1 and .//a[@c>2]]",
+]
+
+
+@st.composite
+def workload_and_subset(draw):
+    source = draw(st.sampled_from(SOURCES))
+    workload = build_workload_automata([parse_xpath(source, "q")])
+    base = [s.sid for s in workload.states if not s.is_connective]
+    subset = draw(st.sets(st.sampled_from(base)) if base else st.just(set()))
+    return workload, frozenset(subset)
+
+
+@given(workload_and_subset())
+@settings(max_examples=200, deadline=None)
+def test_closure_is_extensive_and_idempotent(pair):
+    workload, subset = pair
+    closure = workload.eval_closure(subset)
+    assert subset <= closure  # extensive
+    assert workload.eval_closure(closure) == closure  # idempotent
+
+
+@given(workload_and_subset())
+@settings(max_examples=200, deadline=None)
+def test_closure_is_a_fixpoint_of_the_rules(pair):
+    workload, subset = pair
+    closure = workload.eval_closure(subset)
+    for state in workload.states:
+        if not state.eps:
+            continue
+        kind = state.kind.name
+        if kind == "AND":
+            satisfied = all(c in closure for c in state.eps)
+        elif kind == "NOT":
+            satisfied = state.eps[0] not in closure
+        else:
+            satisfied = any(c in closure for c in state.eps)
+        if satisfied:
+            assert state.sid in closure, (state, closure)
+
+
+@given(workload_and_subset())
+@settings(max_examples=100, deadline=None)
+def test_closure_adds_only_connectives(pair):
+    workload, subset = pair
+    closure = workload.eval_closure(subset)
+    for sid in closure - subset:
+        assert workload.states[sid].is_connective

@@ -1,0 +1,75 @@
+"""Properties of the atomic predicate index vs. brute force."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afa.index import AtomicPredicateIndex
+from repro.afa.predicates import AtomicPredicate, canonical_value
+
+relational_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+constants = st.one_of(
+    st.integers(-20, 20),
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4),
+)
+predicates = st.builds(AtomicPredicate, relational_ops, constants)
+
+substring_predicates = st.builds(
+    AtomicPredicate,
+    st.sampled_from(["contains", "starts-with"]),
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=3),
+)
+
+values = st.one_of(
+    st.integers(-25, 25).map(str),
+    st.text(alphabet=string.ascii_lowercase + "0123456789 ", max_size=6),
+)
+
+
+def build(preds):
+    index = AtomicPredicateIndex()
+    for i, predicate in enumerate(preds):
+        index.add(predicate, i)
+    return index.freeze()
+
+
+@given(st.lists(st.one_of(predicates, substring_predicates), max_size=25), st.lists(values, max_size=15))
+@settings(max_examples=200, deadline=None)
+def test_lookup_equals_brute_force(preds, vals):
+    index = build(preds)
+    for value in vals:
+        want = frozenset(i for i, p in enumerate(preds) if p.test(value))
+        assert index.lookup(value) == want
+
+
+@given(st.lists(predicates, max_size=20), values, values)
+@settings(max_examples=200, deadline=None)
+def test_equal_keys_imply_equal_answers(preds, a, b):
+    index = build(preds)
+    if index.key_of(a) == index.key_of(b):
+        assert index.lookup(a) == index.lookup(b)
+
+
+@given(st.lists(predicates, max_size=20), values)
+@settings(max_examples=100, deadline=None)
+def test_key_is_canonicalisation_invariant(preds, value):
+    index = build(preds)
+    assert index.key_of(value) == index.key_of("  " + value + " ")
+    assert index.lookup(value) == index.lookup("  " + value + " ")
+
+
+@given(st.lists(predicates, min_size=1, max_size=15))
+@settings(max_examples=100, deadline=None)
+def test_precompute_then_lookup_all_hits(preds):
+    index = build(preds)
+    index.precompute()
+    probes = []
+    for predicate in preds:
+        if predicate.is_numeric:
+            probes += [str(float(predicate.constant)), str(float(predicate.constant) + 0.5)]
+        else:
+            probes += [predicate.constant, predicate.constant + "z"]
+    before_misses = index.lookups - index.hits
+    for probe in probes:
+        index.lookup(probe)
+    assert index.lookups - index.hits == before_misses  # zero new misses

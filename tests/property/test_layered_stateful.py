@@ -1,0 +1,77 @@
+"""Stateful property test: the layered engine under arbitrary
+insert/remove/compact/filter interleavings always answers like the
+reference evaluator over its *current* filter set."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.xmlstream.dom import parse_document
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import matching_oids
+from repro.xpush.layered import LayeredFilterEngine
+
+# A small closed world so interactions (duplicates, overlaps) happen.
+FILTER_POOL = [
+    "//a",
+    "//a[b = 1]",
+    "/a/b",
+    "//b[text() = 2]",
+    "/a[not(b = 1)]",
+    "//a[b = 1 or b = 2]",
+    "//*[@k = 'x']",
+]
+DOC_POOL = [
+    "<a><b>1</b></a>",
+    "<a><b>2</b></a>",
+    "<a/>",
+    "<b>2</b>",
+    '<a k="x"><b>1</b></a>',
+    "<c><a><b>3</b></a></c>",
+]
+
+
+class LayeredEngineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = LayeredFilterEngine([])
+        self.engine.compact_threshold = 3  # force frequent compactions
+        self.live: dict[str, str] = {}  # oid -> xpath
+        self.counter = 0
+
+    @rule(source=st.sampled_from(FILTER_POOL))
+    def insert(self, source):
+        oid = f"f{self.counter}"
+        self.counter += 1
+        self.engine.insert(oid, source)
+        self.live[oid] = source
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def remove(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.live)))
+        self.engine.remove(oid)
+        del self.live[oid]
+
+    @rule()
+    def compact(self):
+        self.engine.compact()
+
+    @rule(xml=st.sampled_from(DOC_POOL))
+    def filter_matches_reference(self, xml):
+        document = parse_document(xml)
+        expected = matching_oids(
+            [parse_xpath(source, oid) for oid, source in self.live.items()],
+            document,
+        )
+        assert self.engine.filter_document(document) == expected
+
+    @invariant()
+    def count_is_consistent(self):
+        assert self.engine.filter_count == len(self.live)
+
+
+TestLayeredEngine = LayeredEngineMachine.TestCase
+TestLayeredEngine.settings = settings(
+    max_examples=40, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,86 @@
+"""Property: the order optimisation never changes answers on
+DTD-valid documents, for hypothesis-generated DTDs and flat workloads.
+
+This is the optimisation's exact soundness condition — it prunes
+states whose DTD-mandated predecessors can no longer appear, so it is
+only claimed correct for conforming documents (Sec. 5).
+"""
+
+import random
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afa.build import build_workload_automata
+from repro.xmlstream.dtd import DTD, AttributeDecl, ElementDecl, PCDATA, elem, seq
+from repro.xpath.generator import flat_workload
+from repro.xpath.semantics import matching_oids
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+
+
+@st.composite
+def flat_dtds(draw):
+    """A root with 3-6 optional/repeated PCDATA children, in DTD order."""
+    count = draw(st.integers(3, 6))
+    labels = [f"c{i}" for i in range(count)]
+    particles = []
+    for label in labels:
+        occurrence = draw(st.sampled_from(["?", "*", ""]))
+        particles.append(elem(label, occurrence))
+    declarations = [ElementDecl("root", seq(*particles), (AttributeDecl("id"),))]
+    declarations += [ElementDecl(label, PCDATA) for label in labels]
+    return DTD("root", declarations), labels
+
+
+@st.composite
+def scenario(draw):
+    dtd, labels = draw(flat_dtds())
+    seed = draw(st.integers(0, 10_000))
+    rng = random.Random(seed)
+    values = [str(v) for v in range(4)]
+    k = draw(st.integers(1, min(3, len(labels))))
+    filters = flat_workload("root", labels, draw(st.integers(1, 6)), k, values, rng)
+    documents = [
+        dtd.generate(rng, lambda label, r: r.choice(values))
+        for _ in range(draw(st.integers(1, 5)))
+    ]
+    return dtd, filters, documents
+
+
+@given(scenario())
+@settings(max_examples=120, deadline=None)
+def test_order_optimisation_preserves_answers(data):
+    dtd, filters, documents = data
+    workload = build_workload_automata(filters)
+    ordered = XPushMachine(workload, XPushOptions(order=True), dtd=dtd)
+    for document in documents:
+        dtd.validate(document)  # precondition of the optimisation
+        assert ordered.filter_document(document) == matching_oids(filters, document)
+
+
+@given(scenario())
+@settings(max_examples=60, deadline=None)
+def test_order_optimisation_never_inflates_states(data):
+    dtd, filters, documents = data
+    workload = build_workload_automata(filters)
+    plain = XPushMachine(workload, XPushOptions())
+    ordered = XPushMachine(workload, XPushOptions(order=True), dtd=dtd)
+    for document in documents:
+        plain.filter_document(document)
+        ordered.filter_document(document)
+    assert ordered.state_count <= plain.state_count + 1
+
+
+@given(scenario())
+@settings(max_examples=60, deadline=None)
+def test_full_stack_on_random_flat_scenarios(data):
+    """All optimisations together on the generated DTD-valid streams."""
+    dtd, filters, documents = data
+    machine = XPushMachine(
+        build_workload_automata(filters),
+        XPushOptions(top_down=True, order=True, early=True, train=True, precompute_values=False),
+        dtd=dtd,
+    )
+    for document in documents:
+        assert machine.filter_document(document) == matching_oids(filters, document)

@@ -1,0 +1,78 @@
+"""Property: serialise → parse round-trips any generated DOM tree."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlstream.dom import Document, Element, parse_document
+from repro.xmlstream.events import events_of_document
+from repro.xmlstream.writer import document_to_xml
+
+labels = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+# Text values: printable, no leading/trailing whitespace (the parser
+# treats whitespace-only runs as ignorable and strips nothing else,
+# and canonical comparison strips anyway), non-empty after stripping.
+text_values = (
+    st.text(
+        alphabet=string.ascii_letters + string.digits + " <>&\"'._-",
+        min_size=1,
+        max_size=12,
+    )
+    .map(str.strip)
+    .filter(bool)
+)
+
+attr_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " <>&\"'._-", max_size=10
+)
+
+
+@st.composite
+def elements(draw, depth=0):
+    label = draw(labels)
+    n_attrs = draw(st.integers(0, 3))
+    seen = set()
+    attrs = []
+    for _ in range(n_attrs):
+        name = draw(labels)
+        if name in seen:
+            continue
+        seen.add(name)
+        attrs.append((name, draw(attr_values)))
+    node = Element(label, attributes=attrs)
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            node.text = draw(text_values)
+        return node
+    children = draw(st.lists(elements(depth=depth + 1), max_size=3))
+    node.children = children
+    return node
+
+
+documents = elements().map(Document)
+
+
+@given(documents)
+@settings(max_examples=150, deadline=None)
+def test_write_parse_round_trip(document):
+    text = document_to_xml(document)
+    reparsed = parse_document(text)
+    assert events_of_document(reparsed) == events_of_document(document)
+
+
+@given(documents, st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_pretty_printed_round_trip(document, indent):
+    text = document_to_xml(document, indent=indent)
+    reparsed = parse_document(text)
+    assert events_of_document(reparsed) == events_of_document(document)
+
+
+@given(documents, st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_chunked_parse_equals_whole_parse(document, chunk_size):
+    from repro.xmlstream.parser import iterparse, parse_events
+
+    text = document_to_xml(document)
+    assert list(iterparse(text, chunk_size=chunk_size)) == parse_events(text)

@@ -1,0 +1,45 @@
+"""Property: persistence round-trips arbitrary generated workloads."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.afa.build import build_workload_automata
+from repro.xpath.semantics import matching_oids
+from repro.xpush.machine import XPushMachine
+from repro.xpush.persist import workload_from_json, workload_to_json
+
+from tests.property.test_machine_properties import documents, workloads
+
+
+@given(workloads())
+@settings(max_examples=80, deadline=None)
+def test_round_trip_preserves_structure(filters):
+    original = build_workload_automata(filters)
+    rebuilt = workload_from_json(
+        json.loads(json.dumps(workload_to_json(original)))
+    )
+    assert rebuilt.state_count == original.state_count
+    assert rebuilt.initial_sids == original.initial_sids
+    assert rebuilt.terminals == original.terminals
+    for a, b in zip(original.states, rebuilt.states):
+        assert (a.kind, a.predicate, a.edges, a.eps, a.top_labels, a.rank) == (
+            b.kind,
+            b.predicate,
+            b.edges,
+            b.eps,
+            b.top_labels,
+            b.rank,
+        )
+
+
+@given(workloads(), documents)
+@settings(max_examples=60, deadline=None)
+def test_round_trip_preserves_answers(filters, document):
+    if document.has_mixed_content():
+        return
+    rebuilt = workload_from_json(
+        workload_to_json(build_workload_automata(filters))
+    )
+    machine = XPushMachine(rebuilt)
+    assert machine.filter_document(document) == matching_oids(filters, document)

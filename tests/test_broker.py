@@ -1,0 +1,98 @@
+"""Tests for the message broker application."""
+
+import pytest
+
+from repro.broker import MessageBroker
+from repro.errors import ReproError, WorkloadError
+from repro.xmlstream.dom import parse_document
+
+
+def test_subscribe_publish_deliver():
+    broker = MessageBroker()
+    inbox = []
+    broker.on_deliver = lambda who, doc: inbox.append((who, doc.root.label))
+    broker.subscribe("alice", "//a[b/text() = 1]")
+    broker.subscribe("bob", "//c")
+    assert broker.publish_text("<a><b>1</b></a>") == 1
+    assert broker.publish_text("<c/>") == 1
+    assert broker.publish_text("<d/>") == 0
+    assert inbox == [("alice", "a"), ("bob", "c")]
+    stats = broker.stats()
+    assert stats["published"] == 3
+    assert stats["delivered"] == 2
+    assert stats["subscriptions"] == 2
+
+
+def test_multiple_matches_single_packet():
+    broker = MessageBroker()
+    seen = []
+    broker.on_deliver = lambda who, doc: seen.append(who)
+    broker.subscribe("x", "//a")
+    broker.subscribe("y", "/a[b]")
+    broker.publish(parse_document("<a><b/></a>"))
+    assert sorted(seen) == ["x", "y"]
+
+
+def test_unsubscribe():
+    broker = MessageBroker()
+    seen = []
+    broker.on_deliver = lambda who, doc: seen.append(who)
+    oid = broker.subscribe("x", "//a")
+    broker.publish(parse_document("<a/>"))
+    broker.unsubscribe(oid)
+    broker.publish(parse_document("<a/>"))
+    assert seen == ["x"]
+    with pytest.raises(WorkloadError):
+        broker.unsubscribe(oid)
+
+
+def test_invalid_subscription_rejected_eagerly():
+    broker = MessageBroker()
+    with pytest.raises(ReproError):
+        broker.subscribe("x", "not a filter [")
+    assert broker.subscription_count == 0
+
+
+def test_machine_rebuilt_after_subscription_change():
+    broker = MessageBroker()
+    seen = []
+    broker.on_deliver = lambda who, doc: seen.append(who)
+    broker.subscribe("x", "//a")
+    broker.publish(parse_document("<a/>"))
+    broker.subscribe("y", "//a")  # triggers a lazy rebuild
+    broker.publish(parse_document("<a/>"))
+    assert seen == ["x", "x", "y"]
+
+
+def test_publish_with_no_subscribers():
+    broker = MessageBroker()
+    assert broker.publish(parse_document("<a/>")) == 0
+    assert broker.stats()["published"] == 1
+
+
+def test_incremental_broker_equals_rebuilding_broker():
+    plain = MessageBroker()
+    layered = MessageBroker(incremental=True)
+    log_plain, log_layered = [], []
+    plain.on_deliver = lambda who, doc: log_plain.append(who)
+    layered.on_deliver = lambda who, doc: log_layered.append(who)
+    for broker in (plain, layered):
+        broker.subscribe("x", "//a")
+        broker.subscribe("y", "/a[b = 1]")
+    docs = [parse_document(x) for x in ("<a><b>1</b></a>", "<a/>", "<c/>")]
+    for doc in docs:
+        plain.publish(doc)
+        layered.publish(doc)
+    # Mid-stream subscription change on both.
+    oid_p = plain.subscribe("z", "//c")
+    oid_l = layered.subscribe("z", "//c")
+    for doc in docs:
+        plain.publish(doc)
+        layered.publish(doc)
+    plain.unsubscribe(oid_p)
+    layered.unsubscribe(oid_l)
+    for doc in docs:
+        plain.publish(doc)
+        layered.publish(doc)
+    assert log_plain == log_layered
+    assert layered.stats()["layered"]["insertions"] == 3

@@ -1,0 +1,183 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.xmlstream.dtdparser import dtd_to_text
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(
+        "# a comment\n"
+        "alpha\t//a[b = 1]\n"
+        "\n"
+        "//c\n"  # bare line gets oid q1
+    )
+    return str(path)
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.xml"
+    path.write_text("<a><b>1</b></a><c/><a><b>2</b></a>")
+    return str(path)
+
+
+def test_filter_command(query_file, stream_file, capsys):
+    assert main(["filter", "--queries", query_file, "--input", stream_file]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert out[0] == "0\talpha"
+    assert out[1] == "1\tq0"  # bare lines are numbered q0, q1, … separately
+    assert out[2] == "2\t-"
+
+
+def test_filter_with_order_variant_requires_dtd(query_file, stream_file, capsys):
+    code = main(
+        ["filter", "--queries", query_file, "--input", stream_file, "--variant", "TD-order"]
+    )
+    assert code == 2
+    assert "needs --dtd" in capsys.readouterr().err
+
+
+def test_filter_with_dtd(tmp_path, stream_file, capsys):
+    from repro.data.dtds import protein_dtd
+
+    queries = tmp_path / "q.txt"
+    queries.write_text("p\t//refinfo[year = 1999]\n")
+    dtd_path = tmp_path / "protein.dtd"
+    dtd_path.write_text(dtd_to_text(protein_dtd()))
+    data = tmp_path / "d.xml"
+    data.write_text("<reference><refinfo refid='1'><year>1999</year></refinfo></reference>")
+    code = main(
+        [
+            "filter",
+            "--queries",
+            str(queries),
+            "--input",
+            str(data),
+            "--variant",
+            "TD-order-train",
+            "--dtd",
+            str(dtd_path),
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.splitlines()[0] == "0\tp"
+
+
+def test_empty_query_file_errors(tmp_path, capsys):
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# nothing\n")
+    assert main(["filter", "--queries", str(empty), "--input", "-"]) == 2
+    assert "no filters" in capsys.readouterr().err
+
+
+def test_generate_data_roundtrip(tmp_path, capsys):
+    out = tmp_path / "data.xml"
+    assert main(
+        ["generate-data", "--dataset", "nasa", "--documents", "3", "--out", str(out)]
+    ) == 0
+    from repro.xmlstream.dom import parse_forest
+
+    assert len(parse_forest(out.read_text())) == 3
+
+
+def test_generate_data_bytes_target(capsys):
+    assert main(["generate-data", "--bytes", "5000"]) == 0
+    text = capsys.readouterr().out
+    assert len(text.encode()) >= 5000
+
+
+def test_generate_queries_parse_back(tmp_path):
+    out = tmp_path / "queries.txt"
+    assert main(
+        [
+            "generate-queries",
+            "--count",
+            "12",
+            "--mean-predicates",
+            "2.0",
+            "--out",
+            str(out),
+        ]
+    ) == 0
+    from repro.xpath.parser import parse_xpath
+
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == 12
+    for line in lines:
+        oid, _, xpath = line.partition("\t")
+        parse_xpath(xpath, oid)
+
+
+def test_generated_queries_feed_filter(tmp_path, capsys):
+    queries = tmp_path / "q.txt"
+    data = tmp_path / "d.xml"
+    assert main(["generate-queries", "--count", "25", "--out", str(queries)]) == 0
+    assert main(["generate-data", "--documents", "5", "--out", str(data)]) == 0
+    assert main(["filter", "--queries", str(queries), "--input", str(data)]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 5
+
+
+def test_inspect(capsys):
+    assert main(["inspect", "//a[b/text()=1 and .//a[@c>2]]", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "AFA states  : 7" in out
+    assert "atomic preds: 2" in out
+    assert "notification" in out
+    assert "--ε-->" in out
+
+
+def test_compile_then_filter_compiled(tmp_path, query_file, stream_file, capsys):
+    compiled = tmp_path / "workload.json"
+    assert main(["compile", "--queries", query_file, "--out", str(compiled)]) == 0
+    assert "compiled 2 filters" in capsys.readouterr().err
+    code = main(["filter", "--compiled", str(compiled), "--input", stream_file])
+    assert code == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert out[0] == "0\talpha"
+    assert out[1] == "1\tq0"
+
+
+def test_filter_requires_exactly_one_source(query_file, stream_file, capsys):
+    assert main(["filter", "--input", stream_file]) == 2
+    assert "requires" in capsys.readouterr().err
+    assert (
+        main(
+            [
+                "filter",
+                "--queries",
+                query_file,
+                "--compiled",
+                "x.json",
+                "--input",
+                stream_file,
+            ]
+        )
+        == 2
+    )
+
+
+def test_analyze(tmp_path, capsys):
+    queries = tmp_path / "q.txt"
+    queries.write_text(
+        "a\t//x[k = 1 and m = 2]\n"
+        "b\t//x[m = 2 and k = 1]\n"
+        "c\t//y[k = 1]\n"
+    )
+    assert main(["analyze", "--queries", str(queries), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "duplicate filters: 1" in out
+    assert "most shared atomic predicates:" in out
+    assert "k" in out
+
+
+def test_bench_smoke(capsys):
+    assert main(
+        ["bench", "--queries", "30", "--bytes", "8000", "--variant", "basic"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "cold:" in out and "warm:" in out and "hit_ratio" in out

@@ -1,0 +1,43 @@
+"""Tests for the session-cached figure data used by the benchmarks."""
+
+from repro.bench.figdata import query_sweep, sweep_point, warm_machine
+
+
+def test_query_sweep_scaling():
+    low = query_sweep(1.15)
+    high = query_sweep(10.45)
+    assert len(low) == len(high) == 4
+    # The high-predicate sweep is the paper's ÷10 query counts.
+    assert all(h <= l for l, h in zip(low, high))
+    assert low == tuple(sorted(low))
+
+
+def test_sweep_point_is_cached():
+    queries = query_sweep(1.15)[0]
+    a = sweep_point("basic", queries, 1.15, stream_bytes=20_000)
+    b = sweep_point("basic", queries, 1.15, stream_bytes=20_000)
+    assert a is b  # lru_cache hit: the expensive run happened once
+    assert a.variant == "basic"
+    assert a.states > 0
+    assert a.filtering_seconds > 0
+
+
+def test_sweep_point_variants_differ():
+    queries = query_sweep(1.15)[0]
+    basic = sweep_point("basic", queries, 1.15, stream_bytes=20_000)
+    td = sweep_point("TD", queries, 1.15, stream_bytes=20_000)
+    assert basic is not td
+    assert td.variant == "TD"
+
+
+def test_warm_machine_reuse():
+    queries = query_sweep(1.15)[0]
+    machine_a, stream_a = warm_machine(queries, 1.15)
+    machine_b, stream_b = warm_machine(queries, 1.15)
+    assert machine_a is machine_b
+    assert stream_a is stream_b
+    # It is genuinely warm: a pass over the same stream creates nothing.
+    before = machine_a.state_count
+    machine_a.filter_stream(stream_a)
+    machine_a.clear_results()
+    assert machine_a.state_count == before

@@ -1,0 +1,110 @@
+"""Tests for Sec. 6: relations, independence graph, Theorem 6.1."""
+
+from repro.afa.build import build_workload_automata
+from repro.afa.predicates import AtomicPredicate
+from repro.theory.independence import (
+    IndependenceAnalysis,
+    Relation,
+    count_cliques,
+    predicate_relation,
+)
+from repro.xpath.parser import parse_workload
+from repro.xpush.eager import EagerXPushMachine
+from repro.xpush.machine import XPushMachine
+
+
+def P(op, constant):
+    return AtomicPredicate(op, constant)
+
+
+def test_predicate_relations_numeric():
+    assert predicate_relation(P("=", 1), P("=", 1)) is Relation.EQUIVALENT
+    assert predicate_relation(P("=", 1), P("=", 2)) is Relation.INCONSISTENT
+    assert predicate_relation(P("=", 3), P(">", 2)) is Relation.SUBSUMES
+    assert predicate_relation(P(">", 2), P("=", 3)) is Relation.SUBSUMED
+    assert predicate_relation(P(">", 5), P(">=", 5)) is Relation.SUBSUMES
+    assert predicate_relation(P("<", 2), P(">", 4)) is Relation.INCONSISTENT
+    assert predicate_relation(P(">", 2), P("<", 5)) is Relation.INDEPENDENT
+    assert predicate_relation(P("!=", 1), P("=", 1)) is Relation.INCONSISTENT
+    assert predicate_relation(P("=", 1), P("!=", 2)) is Relation.SUBSUMES
+
+
+def test_predicate_relations_strings():
+    assert predicate_relation(P("=", "abc"), P("=", "abc")) is Relation.EQUIVALENT
+    assert predicate_relation(P("=", "a"), P("=", "b")) is Relation.INCONSISTENT
+    assert predicate_relation(P("=", "b"), P(">", "a")) is Relation.SUBSUMES
+    assert predicate_relation(P("<", "b"), P("<", "c")) is Relation.SUBSUMES
+    assert predicate_relation(P(">", "x"), P("<", "c")) is Relation.INCONSISTENT
+
+
+def test_true_predicate_subsumption():
+    assert predicate_relation(P("=", 1), AtomicPredicate.TRUE) is Relation.SUBSUMES
+    assert predicate_relation(AtomicPredicate.TRUE, P("=", 1)) is Relation.SUBSUMED
+
+
+def test_paper_example_relations(running_filters):
+    """Sec. 6 on Fig. 4: 8 ⇒ 5; 4 ⇔ 13; 4 | s for non-terminal s."""
+    workload = build_workload_automata(running_filters)
+    analysis = IndependenceAnalysis(workload)
+    terminals = list(workload.terminals)
+    eq1 = [
+        sid for sid in terminals
+        if workload.states[sid].predicate == AtomicPredicate("=", 1)
+    ]
+    # 4 ⇔ 13: the two =1 terminals are equivalent.
+    assert analysis.relation(eq1[0], eq1[1]) is Relation.EQUIVALENT
+    # terminal vs. any navigation state: inconsistent.
+    nav = workload.afas[0].initial
+    assert analysis.relation(eq1[0], nav) is Relation.INCONSISTENT
+    # The paper's 8 ⇒ 5 (structurally identical //-loop states in our
+    # conservative analysis: the two `.//a[@c>2]` navigation states of
+    # P1 and P2 are equivalent).
+    equivalents = [
+        (a.sid, b.sid)
+        for a in workload.states
+        for b in workload.states
+        if a.sid < b.sid
+        and not a.is_terminal
+        and not b.is_terminal
+        and analysis.relation(a.sid, b.sid) is Relation.EQUIVALENT
+    ]
+    assert equivalents  # cross-AFA structural sharing detected
+
+
+def test_count_cliques_small_graphs():
+    # Triangle: cliques = {} + 3 singles + 3 pairs + 1 triple = 8.
+    triangle = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+    assert count_cliques(triangle) == 8
+    # No edges: empty + singletons.
+    assert count_cliques({0: set(), 1: set()}) == 3
+    # Path 0-1-2: {} +3 +2 = 6.
+    assert count_cliques({0: {1}, 1: {0, 2}, 2: {1}}) == 6
+
+
+def test_theorem_61_bound_on_running_example(running_filters):
+    """The number of accessible eager states (22) must not exceed the
+    clique count of the independence graph."""
+    eager = EagerXPushMachine(running_filters)
+    analysis = IndependenceAnalysis(eager.workload)
+    bound = analysis.clique_bound()
+    assert eager.state_count <= bound
+
+
+def test_theorem_61_bound_on_small_workloads(protein, protein_docs):
+    from tests.conftest import make_workload
+
+    filters = make_workload(
+        protein, 4, seed=17, mean_predicates=1.0, prob_not=0.0, prob_or=0.0,
+        prob_nested=0.0, prob_wildcard=0.0, prob_descendant=0.0,
+    )
+    machine = XPushMachine.from_filters(filters)
+    for doc in protein_docs:
+        machine.filter_document(doc)
+    analysis = IndependenceAnalysis(machine.workload)
+    assert machine.state_count <= analysis.clique_bound(limit=50_000_000)
+
+
+def test_networkx_export(running_filters):
+    workload = build_workload_automata(running_filters)
+    graph = IndependenceAnalysis(workload).networkx_graph()
+    assert graph.number_of_nodes() == workload.state_count

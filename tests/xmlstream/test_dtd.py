@@ -1,0 +1,230 @@
+"""Tests for the DTD model: validation, order relation, generation."""
+
+import random
+
+import pytest
+
+from repro.errors import DTDError
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.dtd import (
+    DTD,
+    AttributeDecl,
+    ElementDecl,
+    EMPTY,
+    PCDATA,
+    choice,
+    elem,
+    seq,
+)
+
+
+def tiny_dtd() -> DTD:
+    return DTD(
+        "person",
+        [
+            ElementDecl(
+                "person",
+                seq(elem("name"), elem("age", "?"), elem("phone", "*")),
+                (AttributeDecl("id", required=True),),
+            ),
+            ElementDecl("name", PCDATA),
+            ElementDecl("age", PCDATA),
+            ElementDecl("phone", PCDATA),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Construction and structure
+# ----------------------------------------------------------------------
+
+
+def test_undeclared_reference_rejected():
+    with pytest.raises(DTDError):
+        DTD("a", [ElementDecl("a", seq(elem("ghost")))])
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(DTDError):
+        DTD("a", [ElementDecl("a", PCDATA), ElementDecl("a", EMPTY)])
+
+
+def test_recursion_and_depth():
+    non_recursive = tiny_dtd()
+    assert not non_recursive.is_recursive()
+    assert non_recursive.max_depth() == 2
+
+    recursive = DTD(
+        "d",
+        [
+            ElementDecl("d", seq(elem("p", "*"), elem("d", "?"))),
+            ElementDecl("p", PCDATA),
+        ],
+    )
+    assert recursive.is_recursive()
+    assert recursive.max_depth() is None
+
+
+def test_min_depths():
+    dtd = DTD(
+        "a",
+        [
+            ElementDecl("a", seq(elem("b"))),
+            ElementDecl("b", seq(elem("c", "?"))),
+            ElementDecl("c", PCDATA),
+        ],
+    )
+    depths = dtd.min_depths()
+    assert depths["c"] == 1
+    assert depths["b"] == 1  # the c child is optional
+    assert depths["a"] == 2
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def test_validate_accepts_valid_document():
+    doc = parse_document('<person id="1"><name>x</name><age>3</age></person>')
+    tiny_dtd().validate(doc)
+
+
+def test_validate_rejects_wrong_order():
+    doc = parse_document('<person id="1"><age>3</age><name>x</name></person>')
+    with pytest.raises(DTDError):
+        tiny_dtd().validate(doc)
+
+
+def test_validate_rejects_missing_required_attribute():
+    doc = parse_document("<person><name>x</name></person>")
+    with pytest.raises(DTDError):
+        tiny_dtd().validate(doc)
+
+
+def test_validate_rejects_undeclared_attribute():
+    doc = parse_document('<person id="1" nope="x"><name>x</name></person>')
+    with pytest.raises(DTDError):
+        tiny_dtd().validate(doc)
+
+
+def test_validate_rejects_wrong_root_and_undeclared_element():
+    with pytest.raises(DTDError):
+        tiny_dtd().validate(parse_document("<name>x</name>"))
+
+
+def test_validate_pcdata_cannot_have_children():
+    doc = parse_document('<person id="1"><name><phone>5</phone></name></person>')
+    with pytest.raises(DTDError):
+        tiny_dtd().validate(doc)
+
+
+def test_validate_repetition_and_choice():
+    dtd = DTD(
+        "r",
+        [
+            ElementDecl("r", seq(choice(elem("x"), elem("y")), elem("z", "+"))),
+            ElementDecl("x", PCDATA),
+            ElementDecl("y", PCDATA),
+            ElementDecl("z", PCDATA),
+        ],
+    )
+    dtd.validate(parse_document("<r><x>1</x><z>2</z><z>3</z></r>"))
+    dtd.validate(parse_document("<r><y>1</y><z>2</z></r>"))
+    with pytest.raises(DTDError):
+        dtd.validate(parse_document("<r><x>1</x></r>"))  # missing z
+    with pytest.raises(DTDError):
+        dtd.validate(parse_document("<r><x>1</x><y>1</y><z>2</z></r>"))
+
+
+# ----------------------------------------------------------------------
+# Sibling order (order optimisation input)
+# ----------------------------------------------------------------------
+
+
+def test_sibling_order_from_sequence():
+    order = tiny_dtd().sibling_order()
+    assert ("name", "age") in order
+    assert ("age", "phone") in order
+    assert ("name", "phone") in order
+    assert ("age", "name") not in order
+
+
+def test_attributes_precede_all_elements():
+    order = tiny_dtd().sibling_order()
+    for element in ("person", "name", "age", "phone"):
+        assert ("@id", element) in order
+
+
+def test_repetition_destroys_order():
+    dtd = DTD(
+        "r",
+        [
+            ElementDecl("r", seq(elem("x"), elem("y"), occurrence="*")),
+            ElementDecl("x", PCDATA),
+            ElementDecl("y", PCDATA),
+        ],
+    )
+    order = dtd.sibling_order()
+    assert ("x", "y") not in order and ("y", "x") not in order
+
+
+def test_conflicting_orders_cancel():
+    dtd = DTD(
+        "r",
+        [
+            ElementDecl("r", seq(elem("p"), elem("q"))),
+            ElementDecl("p", seq(elem("x", "?"), elem("y", "?"))),
+            ElementDecl("q", seq(elem("y", "?"), elem("x", "?"))),
+            ElementDecl("x", PCDATA),
+            ElementDecl("y", PCDATA),
+        ],
+    )
+    order = dtd.sibling_order()
+    assert ("x", "y") not in order and ("y", "x") not in order
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+
+def test_generated_documents_validate():
+    dtd = tiny_dtd()
+    rng = random.Random(5)
+    for _ in range(20):
+        doc = dtd.generate(rng, lambda label, r: str(r.randint(0, 9)))
+        dtd.validate(doc)
+
+
+def test_generation_respects_max_depth_for_recursive_dtd():
+    dtd = DTD(
+        "d",
+        [
+            ElementDecl("d", seq(elem("p", "*"), elem("d", "?"))),
+            ElementDecl("p", PCDATA),
+        ],
+    )
+    rng = random.Random(1)
+    for _ in range(30):
+        doc = dtd.generate(rng, lambda label, r: "v", max_depth=5)
+        assert doc.depth() <= 5
+        dtd.validate(doc)
+
+
+def test_recursive_generation_requires_max_depth():
+    dtd = DTD(
+        "d",
+        [ElementDecl("d", seq(elem("d", "?"), elem("p"))), ElementDecl("p", PCDATA)],
+    )
+    with pytest.raises(DTDError):
+        dtd.generate(random.Random(0), lambda label, r: "v")
+
+
+def test_generation_is_deterministic_per_seed():
+    from repro.xmlstream.writer import document_to_xml
+
+    dtd = tiny_dtd()
+    a = document_to_xml(dtd.generate(random.Random(9), lambda l, r: str(r.random())))
+    b = document_to_xml(dtd.generate(random.Random(9), lambda l, r: str(r.random())))
+    assert a == b

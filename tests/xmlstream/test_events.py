@@ -1,0 +1,90 @@
+"""Tests for the five-event SAX model and attribute lowering."""
+
+import pytest
+
+from repro.xmlstream.dom import Document, Element
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    EventHandler,
+    StartDocument,
+    StartElement,
+    Text,
+    attribute_label,
+    dispatch,
+    events_of_document,
+    is_attribute_label,
+)
+
+
+def test_attribute_label_round_trip():
+    assert attribute_label("c") == "@c"
+    assert is_attribute_label("@c")
+    assert not is_attribute_label("c")
+
+
+def test_events_of_simple_document():
+    # The paper's Sec. 2 example: <a c="3"> <b> 4 </b> </a>
+    doc = Document(
+        Element("a", attributes=[("c", "3")], children=[Element("b", text="4")])
+    )
+    events = events_of_document(doc)
+    assert events == [
+        StartDocument(),
+        StartElement("a"),
+        StartElement("@c"),
+        Text("3"),
+        EndElement("@c"),
+        StartElement("b"),
+        Text("4"),
+        EndElement("b"),
+        EndElement("a"),
+        EndDocument(),
+    ]
+
+
+def test_attributes_precede_text_and_children():
+    doc = Document(Element("x", attributes=[("p", "1"), ("q", "2")], text="body"))
+    events = events_of_document(doc)
+    labels = [e.label for e in events if isinstance(e, StartElement)]
+    assert labels == ["x", "@p", "@q"]
+    # text of the element itself comes after both attribute blocks
+    text_positions = [i for i, e in enumerate(events) if isinstance(e, Text)]
+    assert events[text_positions[-1]] == Text("body")
+
+
+def test_dispatch_routes_every_event_kind():
+    calls = []
+
+    class Recorder(EventHandler):
+        def start_document(self):
+            calls.append("SD")
+
+        def start_element(self, label):
+            calls.append(f"SE:{label}")
+
+        def text(self, value):
+            calls.append(f"T:{value}")
+
+        def end_element(self, label):
+            calls.append(f"EE:{label}")
+
+        def end_document(self):
+            calls.append("ED")
+
+    dispatch(
+        [StartDocument(), StartElement("a"), Text("v"), EndElement("a"), EndDocument()],
+        Recorder(),
+    )
+    assert calls == ["SD", "SE:a", "T:v", "EE:a", "ED"]
+
+
+def test_dispatch_rejects_non_events():
+    with pytest.raises(TypeError):
+        dispatch(["not an event"], EventHandler())
+
+
+def test_is_attribute_property_on_events():
+    assert StartElement("@c").is_attribute
+    assert not StartElement("c").is_attribute
+    assert EndElement("@c").is_attribute

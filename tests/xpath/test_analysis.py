@@ -1,0 +1,59 @@
+"""Tests for workload analytics."""
+
+from repro.xpath.analysis import most_shared_predicates, profile_workload
+from repro.xpath.parser import parse_workload
+
+from tests.conftest import make_workload
+
+
+def test_running_example_profile(running_filters):
+    profile = profile_workload(running_filters)
+    assert profile.queries == 2
+    # [b/text() = 1] occurs in both filters → sharing ratio > 1.
+    assert profile.predicate_sharing_ratio > 1.0
+    shared = most_shared_predicates(running_filters, top=1)
+    (key, count), = shared
+    assert count == 2
+    assert key[1] == "="
+
+
+def test_profile_counts():
+    filters = parse_workload(
+        {
+            "a": "/r/x[p = 1]",
+            "b": "/r/x[p = 1 and q = 2]",
+            "c": "/r/y[not(p = 1) or q = 2]",
+            "d": "/r/x",
+        }
+    )
+    profile = profile_workload(filters)
+    assert profile.queries == 4
+    assert profile.linear_queries == 1
+    assert profile.queries_with_not == 1
+    assert profile.queries_with_or == 1
+    assert profile.max_predicates_in_one_query == 2
+    # p = 1 occurs 3 times, q = 2 twice → 5 occurrences, 2 distinct.
+    assert profile.total_atomic_predicates == 5
+    assert profile.distinct_atomic_predicates == 2
+    assert profile.predicate_sharing_ratio == 2.5
+    # Prefixes: /r shared by all four, /r/x by three.
+    assert profile.prefix_sharing_ratio > 1.0
+    assert "queries" in profile.describe()
+
+
+def test_generated_workloads_do_share(protein):
+    """The paper's premise: at scale, common predicates are frequent."""
+    filters = make_workload(
+        protein, 300, seed=5, prob_not=0.0, prob_or=0.0, prob_nested=0.0,
+        prob_wildcard=0.0, prob_descendant=0.0, mean_predicates=1.15,
+    )
+    profile = profile_workload(filters)
+    assert profile.predicate_sharing_ratio > 1.05
+    assert profile.prefix_sharing_ratio > 2.0
+
+
+def test_empty_workload():
+    profile = profile_workload([])
+    assert profile.queries == 0
+    assert profile.predicates_per_query == 0.0
+    assert profile.predicate_sharing_ratio == 1.0

@@ -1,0 +1,96 @@
+"""Tests for workload deduplication."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.xmlstream.dom import parse_document
+from repro.xpath.dedupe import DeduplicatedEngine, DeduplicatedWorkload, canonical_key
+from repro.xpath.parser import parse_workload, parse_xpath
+from repro.xpath.semantics import matching_oids
+
+from tests.conftest import make_workload
+
+
+def key(source):
+    return canonical_key(parse_xpath(source).path)
+
+
+def test_identical_filters_share_a_key():
+    assert key("//a[x = 1]") == key("//a[x = 1]")
+
+
+def test_conjunct_order_is_canonicalised():
+    assert key("//a[x = 1 and y = 2]") == key("//a[y = 2 and x = 1]")
+    assert key("//a[x = 1 or y = 2]") == key("//a[y = 2 or x = 1]")
+
+
+def test_simplification_feeds_canonicalisation():
+    assert key("//a[x = 1 and (x = 1)]") == key("//a[x = 1]")
+    assert key("//a[not(not(x = 1))]") == key("//a[x = 1]")
+    assert key("/a[./b = 1]") == key("/a[b = 1]")
+
+
+def test_numeric_normalisation():
+    assert key("//a[x = 2]") == key("//a[x = 2.0]")
+    assert key("//a[x = 2]") != key("//a[x = '2']")  # string vs number
+
+
+def test_distinct_filters_stay_distinct():
+    assert key("//a[x = 1]") != key("//a[x = 2]")
+    assert key("//a[x = 1]") != key("/a[x = 1]")
+    assert key("//a[x = 1]") != key("//a[x >= 1]")
+    assert key("//a[x and y]") != key("//a[x or y]")
+
+
+def test_grouping_and_expand():
+    filters = parse_workload(
+        {
+            "u1": "//a[x = 1 and y = 2]",
+            "u2": "//a[y = 2 and x = 1]",
+            "u3": "//b",
+        }
+    )
+    dedup = DeduplicatedWorkload(filters)
+    assert dedup.original_count == 3
+    assert dedup.class_count == 2
+    assert dedup.duplicates_removed == 1
+    representative = next(
+        oid for oid, members in dedup.members.items() if len(members) == 2
+    )
+    assert dedup.expand(frozenset([representative])) == {"u1", "u2"}
+    assert dedup.expand(frozenset()) == frozenset()
+
+
+def test_duplicate_oids_rejected():
+    f = parse_xpath("/a", "same")
+    with pytest.raises(WorkloadError):
+        DeduplicatedWorkload([f, f])
+
+
+def test_engine_equals_full_workload(protein, protein_docs):
+    base = make_workload(protein, 20, seed=31)
+    # Clone every filter under fresh oids → heavy duplication.
+    clones = [
+        parse_xpath(f.source, f"clone-{f.oid}") for f in base
+    ]
+    filters = base + clones
+    engine = DeduplicatedEngine(filters)
+    assert engine.stats()["duplicates_removed"] >= 20
+    for doc in protein_docs[:8]:
+        assert engine.filter_document(doc) == matching_oids(filters, doc)
+
+
+def test_engine_reduces_states(protein, protein_docs):
+    base = make_workload(protein, 15, seed=8)
+    clones = [parse_xpath(f.source, f"c{f.oid}") for f in base]
+    filters = base + clones
+    from repro.xpush.machine import XPushMachine
+
+    full = XPushMachine.from_filters(filters)
+    deduped = DeduplicatedEngine(filters)
+    for doc in protein_docs[:6]:
+        full.filter_document(doc)
+        deduped.filter_document(doc)
+    assert deduped.state_count <= full.state_count
+    # Duplicated AFAs double the sids per state in the full machine.
+    assert deduped.machine.average_state_size <= full.average_state_size

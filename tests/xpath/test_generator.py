@@ -1,0 +1,80 @@
+"""Tests for the synthetic workload generator."""
+
+import random
+
+from repro.xmlstream.dom import Document
+from repro.xpath.ast import count_atomic_predicates
+from repro.xpath.generator import GeneratorConfig, QueryGenerator, flat_workload
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import evaluate_filter
+
+from tests.conftest import make_workload
+
+
+def test_determinism(protein):
+    a = make_workload(protein, 20, seed=3)
+    b = make_workload(protein, 20, seed=3)
+    assert [f.source for f in a] == [f.source for f in b]
+    c = make_workload(protein, 20, seed=4)
+    assert [f.source for f in c] != [f.source for f in a]
+
+
+def test_sources_reparse(protein):
+    for f in make_workload(protein, 30, seed=1):
+        assert parse_xpath(f.source).path == f.path
+
+
+def test_mean_predicates_is_respected(protein):
+    generator = QueryGenerator(
+        protein.dtd, protein.value_pool, GeneratorConfig(seed=0, mean_predicates=10.45)
+    )
+    filters = generator.generate(150)
+    mean = sum(count_atomic_predicates(f.path) for f in filters) / len(filters)
+    assert 8.0 < mean < 13.0
+    generator = QueryGenerator(
+        protein.dtd, protein.value_pool, GeneratorConfig(seed=0, mean_predicates=1.15)
+    )
+    filters = generator.generate(300)
+    mean = sum(count_atomic_predicates(f.path) for f in filters) / len(filters)
+    assert 1.0 <= mean < 1.4
+
+
+def test_exact_predicates(protein):
+    generator = QueryGenerator(
+        protein.dtd, protein.value_pool, GeneratorConfig(seed=0, exact_predicates=5)
+    )
+    for f in generator.generate(20):
+        assert count_atomic_predicates(f.path) == 5
+
+
+def test_zero_wildcard_and_descendant_by_default(protein):
+    filters = make_workload(protein, 40, seed=2, prob_wildcard=0.0, prob_descendant=0.0)
+    for f in filters:
+        assert "*" not in f.source
+        assert "//" not in f.source[1:]  # the leading / may not be //
+
+
+def test_each_query_satisfiable_on_some_document(protein):
+    """The paper's requirement: every predicate true on at least some
+    document.  We check the weaker end-to-end form: across a large
+    enough sample of documents, a decent share of queries match."""
+    filters = make_workload(
+        protein, 30, seed=5, prob_not=0.0, prob_or=0.0, mean_predicates=1.0,
+        prob_descendant=0.0, prob_wildcard=0.0,
+    )
+    docs = list(protein.documents(300))
+    matched = {
+        f.oid for f in filters for doc in docs if evaluate_filter(f, doc)
+    }
+    assert len(matched) >= len(filters) * 0.3
+
+
+def test_flat_workload_shape():
+    filters = flat_workload(
+        "person", ["name", "age", "phone"], queries=5, predicates_per_query=2,
+        values=["1", "2", "3"], rng=random.Random(0),
+    )
+    assert len(filters) == 5
+    for f in filters:
+        assert f.source.startswith("/person[")
+        assert count_atomic_predicates(f.path) == 2

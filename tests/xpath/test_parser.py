@@ -1,0 +1,135 @@
+"""Tests for the XPath parser: shapes, round-trips, errors."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    And,
+    Axis,
+    Comparison,
+    Exists,
+    Not,
+    NodeTestKind,
+    Or,
+)
+from repro.xpath.parser import parse_workload, parse_xpath
+
+
+def path_of(source):
+    return parse_xpath(source).path
+
+
+def test_absolute_vs_descendant_start():
+    absolute = path_of("/a")
+    anywhere = path_of("//a")
+    assert absolute.steps[0].axis is Axis.CHILD
+    assert anywhere.steps[0].axis is Axis.DESCENDANT
+
+
+def test_running_example_shape():
+    path = path_of("//a[b/text()=1 and .//a[@c>2]]")
+    (step,) = path.steps
+    assert step.axis is Axis.DESCENDANT
+    assert step.test.name == "a"
+    (predicate,) = step.predicates
+    assert isinstance(predicate, And)
+    left, right = predicate.children
+    assert isinstance(left, Comparison) and left.op == "=" and left.value == 1
+    assert left.path.steps[-1].test.kind is NodeTestKind.TEXT
+    assert isinstance(right, Exists)
+    assert right.path.steps[0].axis is Axis.DESCENDANT  # the `.` was folded
+    inner = right.path.steps[0].predicates[0]
+    assert isinstance(inner, Comparison) and inner.op == ">" and inner.value == 2
+    assert inner.path.steps[0].test.kind is NodeTestKind.ATTRIBUTE
+    assert inner.path.steps[0].test.name == "@c"
+
+
+def test_wildcards_and_attribute_wildcards():
+    path = path_of("/*/a[@* = 'x']")
+    assert path.steps[0].test.kind is NodeTestKind.WILDCARD
+    predicate = path.steps[1].predicates[0]
+    assert predicate.path.steps[0].test.kind is NodeTestKind.ATTRIBUTE_WILDCARD
+
+
+def test_not_and_or_precedence():
+    # a or b and c  ==  a or (b and c)
+    predicate = path_of("/r[a or b and c]").steps[0].predicates[0]
+    assert isinstance(predicate, Or)
+    left, right = predicate.children
+    assert isinstance(left, Exists)
+    assert isinstance(right, And)
+
+
+def test_parenthesised_predicate():
+    predicate = path_of("/r[(a or b) and c]").steps[0].predicates[0]
+    assert isinstance(predicate, And)
+    assert isinstance(predicate.children[0], Or)
+
+
+def test_nested_not():
+    predicate = path_of("/r[not(not(a = 1))]").steps[0].predicates[0]
+    assert isinstance(predicate, Not)
+    assert isinstance(predicate.child, Not)
+    assert isinstance(predicate.child.child, Comparison)
+
+
+def test_multiple_brackets_conjoin():
+    step = path_of("/r[a][b = 2]").steps[0]
+    assert len(step.predicates) == 2
+
+
+def test_string_extension_functions():
+    predicate = path_of('/r[starts-with(a, "pre")]').steps[0].predicates[0]
+    assert isinstance(predicate, Comparison)
+    assert predicate.op == "starts-with" and predicate.value == "pre"
+    predicate = path_of('/r[contains(a/b, "mid")]').steps[0].predicates[0]
+    assert predicate.op == "contains"
+
+
+def test_element_named_not_without_parens():
+    # `not` followed by anything but '(' is a plain element name.
+    predicate = path_of("/r[not = 1]").steps[0].predicates[0]
+    assert isinstance(predicate, Comparison)
+    assert predicate.path.steps[0].test.name == "not"
+
+
+def test_string_and_numeric_literals():
+    comparison = path_of('/r[a = "5"]').steps[0].predicates[0]
+    assert comparison.value == "5"  # quoted → string, not int
+    comparison = path_of("/r[a = 5]").steps[0].predicates[0]
+    assert comparison.value == 5
+
+
+def test_round_trip_through_unparse():
+    sources = [
+        "//a[b/text() = 1 and .//a[@c > 2]]",
+        "/r[not(a) or (b = 2 and c/text() != 'x')]",
+        "//*[@id = 'k1']/b//c[text() = 3]",
+        "/a/b[@p >= 10][q <= 2]",
+        '/r[starts-with(a, "pre") and contains(b, "mid")]',
+    ]
+    for source in sources:
+        first = parse_xpath(source).path
+        second = parse_xpath(str(first)).path
+        assert first == second, source
+
+
+def test_errors():
+    for bad in [
+        "a",  # must start with / or //
+        "/a[",  # unterminated predicate
+        "/a[b = ]",  # missing constant
+        "/a[/b = 1]",  # absolute path inside predicate
+        "/a]b",  # trailing junk
+        "//",  # missing node test
+        "/a[b ~ 1]",
+    ]:
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+def test_parse_workload_assigns_oids():
+    filters = parse_workload(["/a", "/b"])
+    assert [f.oid for f in filters] == ["q0", "q1"]
+    filters = parse_workload({"x": "/a", "y": "/b"})
+    assert sorted(f.oid for f in filters) == ["x", "y"]

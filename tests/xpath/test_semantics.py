@@ -1,0 +1,137 @@
+"""Tests for the reference evaluator — the library's ground truth."""
+
+from repro.xmlstream.dom import parse_document
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import evaluate_filter, matching_oids
+
+
+def matches(xpath: str, xml: str) -> bool:
+    return evaluate_filter(parse_xpath(xpath), parse_document(xml))
+
+
+def test_simple_child_paths():
+    assert matches("/a", "<a/>")
+    assert not matches("/b", "<a/>")
+    assert matches("/a/b", "<a><b/></a>")
+    assert not matches("/a/b", "<a><c><b/></c></a>")
+
+
+def test_descendant_axis():
+    assert matches("//b", "<a><c><b/></c></a>")
+    assert matches("/a//b", "<a><c><b/></c></a>")
+    assert not matches("/a//b", "<a><c/></a>")
+    # // means depth >= 1, not self
+    assert not matches("/a//a", "<a/>")
+    assert matches("//a//a", "<a><x><a/></x></a>")
+
+
+def test_wildcards():
+    assert matches("/*", "<anything/>")
+    assert matches("/a/*/c", "<a><b><c/></b></a>")
+    # * never matches attributes
+    assert not matches("/a/*", '<a only="attrs"/>')
+    assert matches("/a/@*", '<a only="attrs"/>')
+
+
+def test_attributes():
+    assert matches("/a[@c = 3]", '<a c="3"/>')
+    assert not matches("/a[@c = 3]", '<a c="4"/>')
+    assert matches("/a[@c > 2]", '<a c="3"/>')
+    assert matches("//@c", '<x><a c="1"/></x>')
+
+
+def test_text_comparisons():
+    assert matches("/a[b/text() = 1]", "<a><b>1</b></a>")
+    assert matches("/a[b/text() = 1]", "<a><b> 1 </b></a>")  # canonicalised
+    assert not matches("/a[b/text() = 1]", "<a><b>2</b></a>")
+    assert matches("/a[b = 1]", "<a><b>1</b></a>")  # bare form, same meaning
+    assert matches("/a[text() = 'x']", "<a>x</a>")
+
+
+def test_numeric_vs_string_comparison():
+    assert matches("/a[b = 10]", "<a><b>10.0</b></a>")  # numeric equality
+    assert not matches("/a[b = '10']", "<a><b>10.0</b></a>")  # string equality
+    assert matches("/a[b > 9]", "<a><b>10</b></a>")
+    assert not matches("/a[b > 9]", "<a><b>abc</b></a>")  # non-numeric → false
+    assert matches("/a[b > 'abc']", "<a><b>abd</b></a>")  # lexicographic
+
+
+def test_existence_predicates():
+    assert matches("/a[b]", "<a><b/></a>")  # empty element still witnesses
+    assert not matches("/a[b]", "<a><c/></a>")
+    assert matches("/a[b/c]", "<a><b><c/></b></a>")
+    assert matches("/a[.//c]", "<a><b><c/></b></a>")
+
+
+def test_not_is_universal():
+    # The paper: /a[not(b/text()=1)] matches iff ALL b's are != 1.
+    assert matches("/a[not(b/text() = 1)]", "<a><b>2</b><b>3</b></a>")
+    assert not matches("/a[not(b/text() = 1)]", "<a><b>2</b><b>1</b></a>")
+    assert matches("/a[not(b/text() = 1)]", "<a/>")  # vacuously true
+
+
+def test_double_negation():
+    assert matches("/a[not(not(b = 1))]", "<a><b>1</b></a>")
+    assert not matches("/a[not(not(b = 1))]", "<a><b>2</b></a>")
+
+
+def test_and_or():
+    xml = "<a><b>1</b><c>2</c></a>"
+    assert matches("/a[b = 1 and c = 2]", xml)
+    assert not matches("/a[b = 1 and c = 3]", xml)
+    assert matches("/a[b = 9 or c = 2]", xml)
+    assert not matches("/a[b = 9 or c = 9]", xml)
+
+
+def test_existential_over_siblings():
+    # some b satisfies = 1 even though another does not
+    assert matches("/a[b = 1]", "<a><b>5</b><b>1</b></a>")
+
+
+def test_predicates_mid_path():
+    assert matches("/a/b[@k = 1]/c", '<a><b k="1"><c/></b></a>')
+    assert not matches("/a/b[@k = 1]/c", '<a><b k="2"><c/></b></a>')
+    assert matches("/a/b[@k = 1]/c", '<a><b k="2"/><b k="1"><c/></b></a>')
+
+
+def test_predicate_with_descendant_path():
+    assert matches("/a[.//d = 7]", "<a><b><c><d>7</d></c></b></a>")
+    assert not matches("/a[.//d = 7]", "<a><b><c><d>8</d></c></b></a>")
+
+
+def test_string_extension_ops():
+    assert matches('/a[starts-with(b, "he")]', "<a><b>hello</b></a>")
+    assert not matches('/a[starts-with(b, "lo")]', "<a><b>hello</b></a>")
+    assert matches('/a[contains(b, "ell")]', "<a><b>hello</b></a>")
+
+
+def test_matching_oids():
+    filters = [
+        parse_xpath("/a[b = 1]", "x"),
+        parse_xpath("/a[b = 2]", "y"),
+        parse_xpath("//b", "z"),
+    ]
+    doc = parse_document("<a><b>1</b></a>")
+    assert matching_oids(filters, doc) == {"x", "z"}
+
+
+def test_running_example(running_filters, running_document):
+    assert evaluate_filter(running_filters[0], running_document)
+    assert evaluate_filter(running_filters[1], running_document)
+
+
+def test_running_example_negative_cases(running_filters):
+    p1, p2 = running_filters
+    # No @c anywhere: both filters need it.
+    doc = parse_document("<a><b>1</b><a><b>1</b></a></a>")
+    assert not evaluate_filter(p1, doc)
+    assert not evaluate_filter(p2, doc)
+    # @c on the inner a and b=1 inside it: P2 matches (the inner a),
+    # P1 needs a *descendant* a with @c>2 below the b=1 node — absent.
+    doc = parse_document('<a><b>1</b><a c="5"><b>1</b></a></a>')
+    assert evaluate_filter(p1, doc)  # outer a: b=1 and .//a[@c>2] both hold
+    assert evaluate_filter(p2, doc)
+    # @c too small
+    doc = parse_document('<a><b>1</b><a c="2"><b>1</b></a></a>')
+    assert not evaluate_filter(p1, doc)
+    assert not evaluate_filter(p2, doc)

@@ -1,0 +1,57 @@
+"""Tests for the eager bottom-up construction beyond the golden example."""
+
+import pytest
+
+from repro.xmlstream.dom import parse_document
+from repro.xpath.parser import parse_workload
+from repro.xpush.eager import BudgetExceeded, EagerXPushMachine
+from repro.xpush.machine import XPushMachine
+
+
+def test_single_linear_query():
+    filters = parse_workload({"q": "/a/b"})
+    eager = EagerXPushMachine(filters)
+    assert eager.run(parse_document("<a><b/></a>")) == {"q"}
+    assert eager.run(parse_document("<a><c/></a>")) == frozenset()
+    # Small machine: a handful of states only.
+    assert eager.state_count <= 8
+
+
+def test_eager_contains_every_lazily_reached_state():
+    sources = {"q1": "/a[b = 1]", "q2": "/a[b = 2]"}
+    filters = parse_workload(sources)
+    eager = EagerXPushMachine(filters)
+    lazy = XPushMachine.from_filters(filters)
+    docs = ["<a><b>1</b></a>", "<a><b>2</b></a>", "<a><b>3</b></a>", "<a><b>1</b><b>2</b></a>"]
+    for xml in docs:
+        doc = parse_document(xml)
+        assert eager.run(doc) == lazy.filter_document(doc)
+    eager_sets = set(eager.state_sets)
+    for state in lazy.store.bottom_states():
+        assert state.sids in eager_sets, state
+
+
+def test_budget_guard():
+    # The Sec. 4 person/phone scenario: 2^n subsets → exponential.
+    sources = {f"q{i}": f"/p[t/text() = {i}]" for i in range(18)}
+    with pytest.raises(BudgetExceeded):
+        EagerXPushMachine(parse_workload(sources), max_states=100)
+
+
+def test_unknown_labels_fall_back_to_wildcard_rows():
+    filters = parse_workload({"q": "//a[b = 1]"})
+    eager = EagerXPushMachine(filters)
+    doc = parse_document("<zzz><a><b>1</b></a></zzz>")
+    assert eager.run(doc) == {"q"}
+
+
+def test_eager_text_overwrite_is_paper_faithful():
+    """Fig. 2's text() overwrites qb: on <a c="2">1</a> the eager
+    machine loses the attribute match (the lazy machine merges; see
+    DESIGN.md deviation #2)."""
+    filters = parse_workload({"q": "/a[@c = 2 and text() = 1]"})
+    eager = EagerXPushMachine(filters)
+    lazy = XPushMachine.from_filters(filters)
+    doc = parse_document('<a c="2">1</a>')
+    assert lazy.filter_document(doc) == {"q"}
+    assert eager.run(doc) == frozenset()  # the documented paper behaviour

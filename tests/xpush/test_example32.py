@@ -1,0 +1,99 @@
+"""Golden test: Example 3.2 / Figs. 3-4, the paper's worked machine.
+
+The eager bottom-up XPush machine for the running workload {P1, P2}
+must have exactly the 22 bottom-up states of Fig. 3, and its execution
+trace on the example document must follow Fig. 3's trace, ending in the
+state {1, 5, 8} (paper numbering) with t_accept = {o1, o2}.
+"""
+
+import pytest
+
+from repro.afa.predicates import AtomicPredicate
+from repro.xpush.eager import EagerXPushMachine
+
+
+@pytest.fixture(scope="module")
+def machine(running_filters):
+    return EagerXPushMachine(running_filters)
+
+
+def test_exactly_22_states(machine):
+    assert machine.state_count == 22
+
+
+def test_value_states_match_fig3_tvalue(machine):
+    # T_value intervals: (-inf,1) → ∅, {1} → q1, (1,2] → ∅, (2,inf) → q2.
+    workload = machine.workload
+    by_pred = {}
+    for sid in workload.terminals:
+        by_pred.setdefault(str(workload.states[sid].predicate), set()).add(sid)
+    q1 = machine.state_sets[machine._value("1")]
+    assert set(q1) == by_pred["= 1"]  # the two =1 terminals (states 4, 13)
+    q2 = machine.state_sets[machine._value("3")]
+    assert set(q2) == by_pred["> 2"]  # the two >2 terminals (states 7, 11)
+    assert machine.state_sets[machine._value("0.5")] == ()
+    assert machine.state_sets[machine._value("1.5")] == ()
+    assert machine.state_sets[machine._value("2")] == ()
+
+
+def test_trace_and_accept(machine, running_document):
+    trace = []
+    accepted = machine.run(running_document, trace)
+    assert accepted == {"o1", "o2"}
+
+    # Decode the paper's state names in our sid numbering.
+    workload = machine.workload
+    a1, a2 = workload.afas
+    init1, init2 = a1.initial, a2.initial
+    sets = [set(machine.state_sets[uid]) for uid in trace]
+
+    # Events traced: text(1), </b>, text(3), </@c>, text(1), </b>, </a>, </a>
+    eq1_terminals = {
+        sid for sid in workload.terminals
+        if workload.states[sid].predicate == AtomicPredicate("=", 1)
+    }
+    gt2_terminals = set(workload.terminals) - eq1_terminals
+    assert sets[0] == eq1_terminals  # q1 = {4, 13}
+    assert sets[2] == gt2_terminals  # q2 = {7, 11}
+    assert len(sets[1]) == 2  # q3 = {3, 12}
+    assert len(sets[3]) == 2  # q4 = {6, 10}
+    assert len(sets[5]) == 4  # q5 = {3, 6, 10, 12}
+    assert len(sets[6]) == 4  # q9 = {3, 5, 8, 12}
+    # Final state q15 = {1, 5, 8}: both initial states present.
+    assert init1 in sets[7] and init2 in sets[7]
+    assert len(sets[7]) == 3
+
+
+def test_taccept_partition(machine):
+    """Fig. 3's T_accept: states containing initial 1 accept o1, those
+    containing initial 8 accept o2, four states accept both."""
+    workload = machine.workload
+    init1, init2 = (afa.initial for afa in workload.afas)
+    both = [u for u in range(machine.state_count) if machine.accepts_of(u) == {"o1", "o2"}]
+    only1 = [u for u in range(machine.state_count) if machine.accepts_of(u) == {"o1"}]
+    only2 = [u for u in range(machine.state_count) if machine.accepts_of(u) == {"o2"}]
+    assert len(both) == 4  # q15, q17, q19, q21
+    assert len(only1) == 4  # q14, q16, q18, q20
+    assert len(only2) == 4  # q7, q9, q11, q13
+    for uid in both:
+        assert init1 in machine.state_sets[uid] and init2 in machine.state_sets[uid]
+
+
+def test_lazy_machine_agrees(running_filters, running_document):
+    from repro.xpush.machine import XPushMachine
+
+    lazy = XPushMachine.from_filters(running_filters)
+    assert lazy.filter_document(running_document) == {"o1", "o2"}
+    # The lazy machine materialises a subset of the eager machine's states.
+    assert lazy.state_count <= 22
+
+
+def test_eager_machine_on_negative_document(machine):
+    from repro.xmlstream.dom import parse_document
+
+    accepted = machine.run(parse_document('<a><b>1</b><a c="2"><b>1</b></a></a>'))
+    assert accepted == frozenset()
+    accepted = machine.run(parse_document('<a><b>1</b><a c="9"><b>1</b></a></a>'))
+    assert accepted == {"o1", "o2"}
+    accepted = machine.run(parse_document('<a c="9"><b>1</b></a>'))
+    assert accepted == {"o2"}  # P1 needs a *descendant* a[@c>2]

@@ -1,0 +1,109 @@
+"""Tests for the layered update engine (Sec. 8)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.xmlstream.dom import parse_document
+from repro.xpath.parser import parse_workload
+from repro.xpath.semantics import matching_oids
+from repro.xpush.layered import LayeredFilterEngine
+
+from tests.conftest import make_workload
+
+
+def doc(xml):
+    return parse_document(xml)
+
+
+def test_insert_is_visible_immediately():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    assert engine.filter_document(doc("<y><z>1</z></y>")) == frozenset()
+    engine.insert("b", "//y[z = 1]")
+    assert engine.filter_document(doc("<y><z>1</z></y>")) == {"b"}
+    assert engine.filter_document(doc("<x/>")) == {"a"}
+    assert engine.filter_count == 2
+
+
+def test_base_machine_untouched_by_insertion():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x[k = 1]"})
+    engine.filter_document(doc("<x><k>1</k></x>"))  # warm the base
+    base_states = engine.stats()["base_states"]
+    engine.insert("b", "//new")
+    assert engine.stats()["base_states"] == base_states
+    assert engine.stats()["delta_states"] >= 1
+    assert engine.compactions == 0
+
+
+def test_remove_is_a_tombstone():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x", "b": "//x"})
+    assert engine.filter_document(doc("<x/>")) == {"a", "b"}
+    engine.remove("a")
+    assert engine.filter_document(doc("<x/>")) == {"b"}
+    assert engine.filter_count == 1
+    with pytest.raises(WorkloadError):
+        engine.remove("a")
+    with pytest.raises(WorkloadError):
+        engine.remove("ghost")
+
+
+def test_reinsert_after_remove():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    engine.remove("a")
+    assert engine.filter_document(doc("<x/>")) == frozenset()
+    engine.insert("a", "//x")
+    assert engine.filter_document(doc("<x/>")) == {"a"}
+
+
+def test_duplicate_insert_rejected():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    with pytest.raises(WorkloadError):
+        engine.insert("a", "//y")
+
+
+def test_compact_folds_everything():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    engine.insert("b", "//y")
+    engine.remove("a")
+    engine.compact()
+    stats = engine.stats()
+    assert stats["base_filters"] == 1
+    assert stats["delta_filters"] == 0
+    assert stats["tombstones"] == 0
+    assert engine.filter_document(doc("<y/>")) == {"b"}
+    assert engine.filter_document(doc("<x/>")) == frozenset()
+
+
+def test_automatic_compaction_threshold():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x0"})
+    engine.compact_threshold = 5
+    for i in range(1, 7):
+        engine.insert(f"q{i}", f"//x{i}")
+    assert engine.compactions >= 1
+    assert engine.stats()["delta_filters"] < 5
+    for i in range(7):
+        assert engine.filter_document(doc(f"<x{i}/>")) == ({f"q{i}"} if i else {"a"})
+
+
+def test_layered_equals_monolithic(protein, protein_docs):
+    filters = make_workload(protein, 30, seed=42)
+    half = len(filters) // 2
+    engine = LayeredFilterEngine(filters[:half])
+    for f in filters[half:]:
+        engine.insert(f.oid, f.source)
+    for document in protein_docs[:8]:
+        assert engine.filter_document(document) == matching_oids(filters, document)
+
+
+def test_filter_text_multi_document():
+    engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    engine.insert("b", "//y")
+    results = engine.filter_text("<x/><y/><z/>")
+    assert results == [frozenset({"a"}), frozenset({"b"}), frozenset()]
+
+
+def test_empty_engine():
+    engine = LayeredFilterEngine([])
+    assert engine.filter_document(doc("<x/>")) == frozenset()
+    assert engine.filter_text("<x/><y/>") == [frozenset(), frozenset()]
+    engine.insert("a", "//x")
+    assert engine.filter_document(doc("<x/>")) == {"a"}

@@ -1,0 +1,79 @@
+"""Tests for state interning and the state store."""
+
+import pytest
+
+from repro.xpush.state import StateStore
+
+
+def store(terminals=frozenset()):
+    return StateStore(accepts_of=lambda sids: frozenset(), terminal_sids=terminals)
+
+
+def test_interning_identity():
+    s = store()
+    a = s.intern_bottom([3, 1, 2])
+    b = s.intern_bottom((1, 2, 3))
+    c = s.intern_bottom({2, 3, 1})
+    assert a is b is c
+    assert a.sids == (1, 2, 3)
+    assert s.bottom_count == 2  # the empty state plus {1,2,3}
+
+
+def test_empty_state():
+    s = store()
+    assert s.empty.sids == ()
+    assert len(s.empty) == 0
+    assert s.intern_bottom(()) is s.empty
+
+
+def test_contains_terminal_flag():
+    s = store(terminals=frozenset({7}))
+    assert s.intern_bottom([7, 1]).contains_terminal
+    assert not s.intern_bottom([1, 2]).contains_terminal
+
+
+def test_average_size_accounting():
+    s = store()
+    s.intern_bottom([1])
+    s.intern_bottom([1, 2, 3])
+    # states: {}, {1}, {1,2,3} → sizes 0,1,3
+    assert s.bottom_count == 3
+    assert s.average_bottom_size == pytest.approx(4 / 3)
+    # Re-interning changes nothing.
+    s.intern_bottom([1, 2, 3])
+    assert s.average_bottom_size == pytest.approx(4 / 3)
+
+
+def test_accepts_computed_once():
+    calls = []
+
+    def accepts(sids):
+        calls.append(sids)
+        return frozenset({"x"}) if sids else frozenset()
+
+    s = StateStore(accepts_of=accepts, terminal_sids=frozenset())
+    a = s.intern_bottom([1])
+    s.intern_bottom([1])
+    assert a.accepts == {"x"}
+    assert calls.count((1,)) == 1
+
+
+def test_top_state_interning():
+    s = store()
+    unpruned = s.intern_top(None)
+    assert unpruned.sids is None
+    assert unpruned.enables(12345)
+    pruned = s.intern_top(frozenset({1, 2}))
+    assert pruned.enables(1) and not pruned.enables(3)
+    assert s.intern_top(frozenset({1, 2})) is pruned
+    assert s.top_count == 2
+
+
+def test_reset():
+    s = store()
+    s.intern_bottom([1, 2])
+    s.intern_top(frozenset({1}))
+    s.reset()
+    assert s.bottom_count == 1  # fresh empty state
+    assert s.top_count == 0
+    assert s.empty.sids == ()
