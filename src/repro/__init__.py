@@ -22,6 +22,7 @@ figure-by-figure reproduction record.
 """
 
 from repro.broker import MessageBroker
+from repro.service import ShardedFilterEngine
 from repro.xmlstream.dom import Document, Element, parse_document, parse_forest
 from repro.xmlstream.dtd import DTD
 from repro.xmlstream.dtdparser import parse_dtd, parse_dtd_file
@@ -43,6 +44,7 @@ __all__ = [
     "LayeredFilterEngine",
     "MessageBroker",
     "QueryGenerator",
+    "ShardedFilterEngine",
     "XPushMachine",
     "XPushOptions",
     "evaluate_filter",

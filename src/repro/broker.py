@@ -58,17 +58,39 @@ class MessageBroker:
         options: XPushOptions | None = None,
         dtd: DTD | None = None,
         incremental: bool = False,
+        shards: int = 1,
+        batch_size: int = 16,
+        shard_strategy: str = "hash",
+        shard_parallel: bool | None = None,
     ):
         """*incremental* selects the update strategy of Sec. 8: False =
         brute-force rebuild on change (flush the cache); True = keep a
         warmed base machine and put new subscriptions in a small delta
-        layer (:class:`repro.xpush.layered.LayeredFilterEngine`)."""
+        layer (:class:`repro.xpush.layered.LayeredFilterEngine`).
+
+        *shards* >= 2 selects the scale-out mode of ``docs/scaling.md``:
+        the workload is partitioned over a
+        :class:`repro.service.ShardedFilterEngine` (one warmed machine
+        per shard, worker processes unless *shard_parallel* is False)
+        and packets are filtered by fan-out/union.  Subscription changes
+        keep the Sec. 8 brute-force contract: the sharded engine is torn
+        down and rebuilt lazily on the next publish."""
+        if incremental and shards > 1:
+            raise WorkloadError("incremental and sharded modes are mutually exclusive")
+        if shards < 1:
+            raise WorkloadError(f"shards must be >= 1, got {shards}")
         self.options = options or XPushOptions(top_down=True, precompute_values=False)
         self.dtd = dtd
         self.incremental = incremental
+        self.shards = int(shards)
+        self.batch_size = int(batch_size)
+        self.shard_strategy = shard_strategy
+        self.shard_parallel = shard_parallel
         self._subscriptions: dict[str, Subscription] = {}
         self._machine: XPushMachine | None = None
         self._layered = None
+        self._sharded = None
+        self._worker_restarts = 0
         if incremental:
             from repro.xpush.layered import LayeredFilterEngine
 
@@ -89,7 +111,7 @@ class MessageBroker:
         if self._layered is not None:
             self._layered.insert(oid, xpath)
         else:
-            self._machine = None  # rebuild lazily (Sec. 8 brute-force path)
+            self._invalidate()  # rebuild lazily (Sec. 8 brute-force path)
         return oid
 
     def unsubscribe(self, oid: str) -> None:
@@ -99,7 +121,14 @@ class MessageBroker:
         if self._layered is not None:
             self._layered.remove(oid)
         else:
-            self._machine = None
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._machine = None
+        if self._sharded is not None:
+            self._worker_restarts += self._sharded.worker_restarts
+            self._sharded.close()
+            self._sharded = None
 
     @property
     def subscription_count(self) -> int:
@@ -115,32 +144,68 @@ class MessageBroker:
             )
         return self._machine
 
+    def _sharded_engine(self):
+        if self._sharded is None:
+            from repro.service.engine import ShardedFilterEngine
+
+            filters = [
+                parse_xpath(sub.xpath, oid) for oid, sub in self._subscriptions.items()
+            ]
+            self._sharded = ShardedFilterEngine(
+                filters,
+                self.shards,
+                options=self.options,
+                dtd=self.dtd,
+                strategy=self.shard_strategy,
+                batch_size=self.batch_size,
+                parallel=self.shard_parallel,
+            )
+        return self._sharded
+
     # -- publishing -------------------------------------------------------
+
+    def _matched_sets(self, documents: list[Document]) -> list[frozenset[str]]:
+        """One oid-set per document, via whichever engine mode is active."""
+        if self._layered is not None:
+            return [self._layered.filter_document(doc) for doc in documents]
+        if self.shards > 1:
+            return self._sharded_engine().filter_batch(documents)
+        machine = self._engine()
+        return [machine.filter_document(doc) for doc in documents]
 
     def publish(self, document: Document) -> int:
         """Route one packet; returns the number of deliveries."""
-        if not self._subscriptions:
-            self.published += 1
+        return self.publish_batch([document])
+
+    def publish_batch(self, documents: list[Document]) -> int:
+        """Route a batch of packets in one engine round-trip; returns
+        the total number of deliveries.  In sharded mode this is the
+        fast path: the whole batch is fanned out to the shard workers
+        pipelined, instead of one queue round-trip per packet."""
+        documents = list(documents)
+        if not documents:
             return 0
-        if self._layered is not None:
-            matched = self._layered.filter_document(document)
-        else:
-            matched = self._engine().filter_document(document)
-        self.published += 1
-        count = 0
-        for oid in sorted(matched):
-            subscription = self._subscriptions.get(oid)
-            if subscription is not None:
-                self.on_deliver(subscription.subscriber, document)
-                count += 1
-        self.delivered += count
-        return count
+        if not self._subscriptions:
+            self.published += len(documents)
+            return 0
+        total = 0
+        for document, matched in zip(documents, self._matched_sets(documents)):
+            self.published += 1
+            count = 0
+            for oid in sorted(matched):
+                subscription = self._subscriptions.get(oid)
+                if subscription is not None:
+                    self.on_deliver(subscription.subscriber, document)
+                    count += 1
+            self.delivered += count
+            total += count
+        return total
 
     def publish_text(self, xml_text: str) -> int:
-        """Parse and route every document in *xml_text*."""
+        """Parse and route every document in *xml_text* as one batch."""
         from repro.xmlstream.dom import parse_forest
 
-        return sum(self.publish(doc) for doc in parse_forest(xml_text))
+        return self.publish_batch(parse_forest(xml_text))
 
     def stats(self) -> dict:
         out = {
@@ -153,8 +218,34 @@ class MessageBroker:
             out["xpush_states"] = layered["base_states"] + layered["delta_states"]
             out["hit_ratio"] = 0.0
             out["layered"] = layered
+        elif self.shards > 1:
+            out["worker_restarts"] = self._worker_restarts
+            if self._sharded is not None:
+                sharded = self._sharded.stats()
+                out["sharded"] = sharded
+                out["worker_restarts"] += sharded["worker_restarts"]
+                out["xpush_states"] = sum(
+                    entry["xpush_states"] for entry in sharded["per_shard"]
+                )
+            else:
+                out["xpush_states"] = 0
+            out["hit_ratio"] = 0.0
         else:
             machine = self._machine
             out["xpush_states"] = machine.state_count if machine else 0
             out["hit_ratio"] = machine.stats.hit_ratio if machine else 0.0
         return out
+
+    def close(self) -> None:
+        """Release resources (shard worker processes); publishing after
+        close lazily rebuilds the engine, so this is safe mid-lifetime."""
+        if self._sharded is not None:
+            self._worker_restarts += self._sharded.worker_restarts
+            self._sharded.close()
+            self._sharded = None
+
+    def __enter__(self) -> "MessageBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -74,28 +74,53 @@ def cmd_filter(args) -> int:
         raise ReproError(f"variant {args.variant!r} needs --dtd for the order optimisation")
     if args.compiled and args.queries:
         raise ReproError("pass either --queries or --compiled, not both")
+    if args.shards < 1:
+        raise ReproError("--shards must be >= 1")
     if args.compiled:
         from repro.xpush.persist import load_workload as load_compiled
 
         workload = load_compiled(args.compiled)
-        filters = workload.afas  # for the count in the footer only
+        filters = [parse_xpath(afa.source, afa.oid) for afa in workload.afas]
     elif args.queries:
         filters = _load_queries(args.queries)
         workload = build_workload_automata(filters)
     else:
         raise ReproError("filter requires --queries or --compiled")
-    machine = XPushMachine(workload, options, dtd=dtd)
     text = _read_input(args.input)
-    start = time.perf_counter()
-    results = machine.filter_stream(text)
-    elapsed = time.perf_counter() - start
+    if args.shards > 1:
+        from repro.service import ShardedFilterEngine
+
+        with ShardedFilterEngine(
+            filters,
+            args.shards,
+            options=options,
+            dtd=dtd,
+            strategy=args.strategy,
+            batch_size=args.batch_size,
+        ) as engine:
+            start = time.perf_counter()
+            results = engine.filter_stream(text)
+            elapsed = time.perf_counter() - start
+            stats = engine.stats()
+        footer = (
+            f"{args.shards} shards ({stats['strategy']}"
+            f"{', serial fallback' if stats['serial_fallback'] else ''}), "
+            f"{sum(e['xpush_states'] for e in stats['per_shard'])} states, "
+            f"{stats['worker_restarts']} restarts"
+        )
+    else:
+        machine = XPushMachine(workload, options, dtd=dtd)
+        start = time.perf_counter()
+        results = machine.filter_stream(text)
+        elapsed = time.perf_counter() - start
+        footer = f"{machine.state_count} states, hit ratio {machine.stats.hit_ratio:.1%}"
     for i, matched in enumerate(results):
         print(f"{i}\t{','.join(sorted(matched)) or '-'}")
     megabytes = len(text.encode("utf-8")) / 1e6
     print(
         f"# {len(results)} documents, {len(filters)} filters, "
         f"{elapsed:.3f}s ({megabytes / elapsed if elapsed else 0:.2f} MB/s), "
-        f"{machine.state_count} states, hit ratio {machine.stats.hit_ratio:.1%}",
+        f"{footer}",
         file=sys.stderr,
     )
     return 0
@@ -246,6 +271,34 @@ def cmd_bench(args) -> int:
     print(f"warm: {warm:.3f}s ({megabytes / warm:.2f} MB/s)")
     print(f"states={machine.state_count} avg_size={machine.average_state_size:.1f} "
           f"hit_ratio={machine.stats.hit_ratio:.1%}")
+    if args.shards > 1:
+        from repro.service import ShardedFilterEngine
+        from repro.xmlstream.dom import parse_forest
+
+        documents = parse_forest(stream)
+        with ShardedFilterEngine(
+            filters,
+            args.shards,
+            options=variant_options(args.variant),
+            dtd=dataset.dtd,
+            batch_size=args.batch_size,
+        ) as engine:
+            engine.filter_batch(documents)  # warm the shard machines
+            start = time.perf_counter()
+            engine.filter_batch(documents)
+            sharded = time.perf_counter() - start
+            stats = engine.stats()
+        latency = stats["batch_latency"]
+        print(
+            f"sharded({args.shards}x, batch={args.batch_size}"
+            f"{', serial fallback' if stats['serial_fallback'] else ''}): "
+            f"{sharded:.3f}s ({megabytes / sharded:.2f} MB/s), "
+            f"speedup x{warm / sharded:.2f} vs warm serial"
+        )
+        print(
+            f"batch latency ms: p50={latency['p50_ms']:.1f} "
+            f"p90={latency['p90_ms']:.1f} p99={latency['p99_ms']:.1f}"
+        )
     return 0
 
 
@@ -265,6 +318,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", default="-", help="XML stream file, or - for stdin")
     p.add_argument("--variant", default="TD", choices=sorted(VARIANTS))
     p.add_argument("--dtd", help="DTD file (needed for order/training variants)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the workload over N worker processes (docs/scaling.md)")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="documents per work item in sharded mode")
+    p.add_argument("--strategy", default="hash",
+                   choices=["hash", "round_robin", "size_balanced"],
+                   help="shard partitioning strategy")
     p.set_defaults(func=cmd_filter)
 
     p = sub.add_parser("compile", help="pre-compile a query file to a workload JSON")
@@ -313,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bytes", type=int, default=100_000)
     p.add_argument("--variant", default="TD-order-train", choices=sorted(VARIANTS))
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="also measure a sharded engine with N worker processes")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="documents per work item in sharded mode")
     p.set_defaults(func=cmd_bench)
 
     return parser

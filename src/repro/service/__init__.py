@@ -1,0 +1,35 @@
+"""Sharded, multi-process filtering service.
+
+The paper's motivating deployment (Sec. 1) is a message broker
+filtering a high-rate XML stream against very large subscription
+workloads.  A single XPush machine shares work *within* one process;
+this package scales *across* processes by partitioning the workload —
+not the document stream — into N shards, compiling one machine per
+shard, and fanning every document batch out to all shards (the
+software analogue of the parallel filter engines in FPGA XML-filtering
+architectures, with bounded inter-stage buffering in the spirit of
+schema-based event-processor scheduling):
+
+- :mod:`repro.service.partition` — workload partitioning strategies
+  (``hash``, ``round_robin``, ``size_balanced`` by AFA state count);
+- :mod:`repro.service.worker` — the worker-process main loop; shards
+  are shipped as :mod:`repro.xpush.persist` snapshots so workers skip
+  re-parsing and re-compiling, then warmed via ``warm_up()``;
+- :mod:`repro.service.engine` — :class:`ShardedFilterEngine`, the
+  parent-side orchestrator: batched publish over bounded work queues
+  with backpressure, crash detection with restart-and-resubmit, and a
+  serial in-process fallback when ``shards == 1`` or
+  ``multiprocessing`` is unavailable.
+
+See ``docs/scaling.md`` for the operational contract.
+"""
+
+from repro.service.engine import ServiceError, ShardedFilterEngine
+from repro.service.partition import PARTITION_STRATEGIES, partition_filters
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "ServiceError",
+    "ShardedFilterEngine",
+    "partition_filters",
+]

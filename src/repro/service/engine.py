@@ -1,0 +1,465 @@
+"""The parent-side orchestrator: :class:`ShardedFilterEngine`.
+
+Scaling model (see ``docs/scaling.md``): the *workload* is partitioned
+into N shards; every document batch fans out to all shards and the
+per-shard oid sets are unioned, so the engine's answers are exactly
+the serial machine's answers regardless of N or strategy.
+
+Mechanics:
+
+- shards are compiled once in the parent and shipped to worker
+  processes as :mod:`repro.xpush.persist` snapshots (no re-parsing or
+  re-compiling in workers); workers warm their machines before
+  reporting ready;
+- each worker has a *bounded* task queue, and the parent additionally
+  caps the number of in-flight batches at ``queue_depth`` — the
+  backpressure that keeps an unbounded publisher from ballooning
+  memory while still pipelining: batch *i+1* is serialised and
+  enqueued while the workers chew batch *i*;
+- a worker death is detected at submit or collect time; the worker is
+  respawned from its retained payload, every batch it had not yet
+  answered is resubmitted, and ``stats()["worker_restarts"]`` counts
+  the event.  Duplicate answers from the pre-crash incarnation are
+  discarded idempotently;
+- ``shards == 1``, ``parallel=False`` or an unusable
+  ``multiprocessing`` all degrade to an in-process serial engine with
+  the same API and the same answers (``stats()["serial_fallback"]``).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError, WorkloadError
+from repro.service.latency import LatencyTracker
+from repro.service.partition import partition_filters
+from repro.xmlstream.dom import Document, parse_forest
+from repro.xmlstream.dtd import DTD
+from repro.xmlstream.writer import document_to_xml
+from repro.xpath.ast import XPathFilter
+from repro.xpath.parser import parse_workload
+from repro.xpush.options import XPushOptions
+
+
+class ServiceError(ReproError):
+    """Raised when the sharded service cannot complete a batch."""
+
+
+def _default_options() -> XPushOptions:
+    return XPushOptions(top_down=True, precompute_values=False)
+
+
+def _mp_context(start_method: str | None):
+    """A usable multiprocessing context, or None (serial fallback)."""
+    try:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        elif start_method not in methods:
+            return None
+        return multiprocessing.get_context(start_method)
+    except (ImportError, ValueError, OSError):
+        return None
+
+
+def _picklable(value) -> bool:
+    import pickle
+
+    try:
+        pickle.dumps(value)
+        return True
+    except Exception:  # noqa: BLE001 - any failure means "do not ship it"
+        return False
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one shard's worker process."""
+
+    __slots__ = ("shard_id", "process", "tasks", "pending", "info")
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self.process = None
+        self.tasks = None
+        self.pending: dict[int, list[str]] = {}  # batch_id -> texts
+        self.info: dict = {}
+
+    @property
+    def dead(self) -> bool:
+        return self.process is None or self.process.exitcode is not None
+
+
+class ShardedFilterEngine:
+    """Filter document batches against a workload split over N shards.
+
+    Args:
+        filters: the workload (``XPathFilter`` list, or oid→xpath
+            mapping / list of sources as accepted by ``parse_workload``).
+        shards: number of shards (1 = serial, no processes).
+        options: machine options, shared by every shard.
+        dtd: optional DTD (order optimisation / training).
+        strategy: partitioning strategy (:data:`PARTITION_STRATEGIES`).
+        batch_size: documents per work item fanned out to the shards.
+        queue_depth: max in-flight work items (backpressure bound).
+        parallel: force processes on (True), off (False) or auto (None).
+        warm: warm each shard machine via ``warm_up()`` at boot.
+        training_seed: seed for the warm-up document generator.
+        result_timeout: seconds of *no progress* before a batch is
+            declared stuck and :class:`ServiceError` is raised.
+        start_method: multiprocessing start method override.
+    """
+
+    def __init__(
+        self,
+        filters: Sequence[XPathFilter] | dict[str, str] | list[str],
+        shards: int = 2,
+        *,
+        options: XPushOptions | None = None,
+        dtd: DTD | None = None,
+        strategy: str = "hash",
+        batch_size: int = 16,
+        queue_depth: int = 4,
+        parallel: bool | None = None,
+        warm: bool = True,
+        training_seed: int = 0,
+        result_timeout: float = 60.0,
+        start_method: str | None = None,
+    ):
+        if batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1, got {batch_size}")
+        if queue_depth < 1:
+            raise WorkloadError(f"queue_depth must be >= 1, got {queue_depth}")
+        if filters and not isinstance(next(iter(filters)), XPathFilter):
+            filters = parse_workload(filters)  # type: ignore[arg-type]
+        self.filters = list(filters)  # type: ignore[arg-type]
+        self.shards = int(shards)
+        self.options = options or _default_options()
+        self.dtd = dtd
+        self.strategy = strategy
+        self.batch_size = int(batch_size)
+        self.queue_depth = int(queue_depth)
+        self.warm = warm
+        self.training_seed = training_seed
+        self.result_timeout = float(result_timeout)
+
+        self._shard_filters = partition_filters(self.filters, self.shards, strategy)
+        self._active = [i for i, fs in enumerate(self._shard_filters) if fs]
+
+        self._ctx = None
+        if parallel is None:
+            parallel = self.shards > 1
+        if parallel and self.shards > 1 and self._active:
+            self._ctx = _mp_context(start_method)
+        self.parallel = self._ctx is not None
+
+        self._workloads: dict[int, object] = {}
+        for shard_id in self._active:
+            from repro.afa.build import build_workload_automata
+
+            self._workloads[shard_id] = build_workload_automata(
+                self._shard_filters[shard_id]
+            )
+
+        self.documents = 0
+        self.batches = 0
+        self.worker_restarts = 0
+        self.latency = LatencyTracker()
+        self._batch_counter = 0
+        self._closed = False
+        self._machines: dict[int, object] = {}  # serial fallback
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._results = None
+        self._payloads: dict[int, dict] = {}
+
+        if self.parallel:
+            self._boot_workers()
+        else:
+            self._boot_serial()
+
+    @classmethod
+    def from_xpath(cls, sources: dict[str, str] | list[str], shards: int = 2, **kwargs):
+        return cls(parse_workload(sources), shards, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Boot paths
+    # ------------------------------------------------------------------
+
+    def _boot_serial(self) -> None:
+        from repro.xpush.machine import XPushMachine
+
+        for shard_id in self._active:
+            machine = XPushMachine(
+                self._workloads[shard_id], self.options, dtd=self.dtd
+            )
+            if self.warm and not self.options.train:
+                machine.warm_up(seed=self.training_seed)
+            self._machines[shard_id] = machine
+
+    def _boot_workers(self) -> None:
+        from dataclasses import replace
+
+        from repro.service.worker import build_payload
+        from repro.xpush.persist import workload_to_json
+
+        dtd = self.dtd
+        options = self.options
+        if dtd is not None and not _picklable(dtd):
+            # A DTD that cannot cross the process boundary is dropped;
+            # the order optimisation needs it, so switch that off in the
+            # workers — a performance knob only, answers are unchanged.
+            dtd = None
+            options = replace(options, order=False, train=False)
+        self._results = self._ctx.Queue()
+        for shard_id in self._active:
+            self._payloads[shard_id] = build_payload(
+                workload_to_json(self._workloads[shard_id]),
+                options,
+                dtd,
+                warm=self.warm,
+                training_seed=self.training_seed,
+            )
+            handle = _WorkerHandle(shard_id)
+            self._workers[shard_id] = handle
+            self._spawn(handle)
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        from repro.service.worker import worker_main
+
+        # Small slack above queue_depth so a restart can always requeue
+        # every pending batch without blocking on its own bound.
+        handle.tasks = self._ctx.Queue(maxsize=self.queue_depth + 2)
+        handle.process = self._ctx.Process(
+            target=worker_main,
+            args=(handle.shard_id, self._payloads[handle.shard_id], handle.tasks, self._results),
+            daemon=True,
+            name=f"repro-shard-{handle.shard_id}",
+        )
+        handle.process.start()
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        self.worker_restarts += 1
+        if handle.process is not None:
+            handle.process.join(timeout=1.0)
+        self._spawn(handle)
+        for batch_id, texts in sorted(handle.pending.items()):
+            handle.tasks.put(("batch", batch_id, texts))
+
+    def _check_workers(self) -> None:
+        for handle in self._workers.values():
+            if handle.dead:
+                self._restart(handle)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def filter_batch(self, documents: Iterable[Document]) -> list[frozenset[str]]:
+        """Filter *documents*; one oid-set per document, serial-identical."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        docs = list(documents)
+        if not docs:
+            return []
+        self.documents += len(docs)
+        if not self._active:
+            self.batches += 1
+            return [frozenset()] * len(docs)
+        if not self.parallel:
+            return self._filter_batch_serial(docs)
+        return self._filter_batch_parallel(docs)
+
+    def _filter_batch_serial(self, docs: list[Document]) -> list[frozenset[str]]:
+        merged: list[set[str]] = [set() for _ in docs]
+        for offset in range(0, len(docs), self.batch_size):
+            chunk = docs[offset : offset + self.batch_size]
+            started = time.perf_counter()
+            for index, doc in enumerate(chunk):
+                for machine in self._machines.values():
+                    merged[offset + index] |= machine.filter_document(doc)
+            self.batches += 1
+            self.latency.record(time.perf_counter() - started)
+        for machine in self._machines.values():
+            machine.clear_results()
+        return [frozenset(s) for s in merged]
+
+    def _filter_batch_parallel(self, docs: list[Document]) -> list[frozenset[str]]:
+        texts = [document_to_xml(doc) for doc in docs]
+        merged: list[set[str]] = [set() for _ in docs]
+        outstanding: dict[int, dict] = {}
+        for offset in range(0, len(texts), self.batch_size):
+            while len(outstanding) >= self.queue_depth:
+                self._collect_once(outstanding, merged)
+            chunk = texts[offset : offset + self.batch_size]
+            self._batch_counter += 1
+            batch_id = self._batch_counter
+            outstanding[batch_id] = {
+                "offset": offset,
+                "size": len(chunk),
+                "waiting": set(self._workers),
+                "started": time.perf_counter(),
+            }
+            for handle in self._workers.values():
+                handle.pending[batch_id] = chunk
+                self._put_task(handle, ("batch", batch_id, chunk))
+        while outstanding:
+            self._collect_once(outstanding, merged)
+        return [frozenset(s) for s in merged]
+
+    def _put_task(self, handle: _WorkerHandle, task: tuple) -> None:
+        deadline = time.monotonic() + self.result_timeout
+        while True:
+            if handle.dead:
+                # _restart resubmits everything in handle.pending —
+                # including the batch this task carries — so done.
+                self._restart(handle)
+                return
+            try:
+                handle.tasks.put(task, timeout=0.1)
+                return
+            except queue_module.Full:
+                if time.monotonic() > deadline:
+                    raise ServiceError(
+                        f"shard {handle.shard_id}: task queue stuck for "
+                        f"{self.result_timeout:.0f}s"
+                    ) from None
+
+    def _collect_once(self, outstanding: dict[int, dict], merged: list[set[str]]) -> None:
+        """Receive one message (or tick liveness checks) and fold it in."""
+        deadline = time.monotonic() + self.result_timeout
+        while True:
+            try:
+                message = self._results.get(timeout=0.05)
+                break
+            except queue_module.Empty:
+                self._check_workers()
+                if time.monotonic() > deadline:
+                    waiting = {
+                        bid: sorted(info["waiting"]) for bid, info in outstanding.items()
+                    }
+                    raise ServiceError(
+                        f"no shard progress for {self.result_timeout:.0f}s; "
+                        f"waiting on {waiting}"
+                    ) from None
+        kind = message[0]
+        if kind == "ready":
+            _, shard_id, info = message
+            if shard_id in self._workers:
+                self._workers[shard_id].info = info
+            return
+        if kind == "error":
+            _, shard_id, batch_id, text = message
+            raise ServiceError(f"shard {shard_id} failed on batch {batch_id}: {text}")
+        _, shard_id, batch_id, answers, info = message
+        handle = self._workers.get(shard_id)
+        info_entry = outstanding.get(batch_id)
+        if handle is not None:
+            handle.info = info
+            handle.pending.pop(batch_id, None)
+        if info_entry is None or shard_id not in info_entry["waiting"]:
+            return  # duplicate from a pre-crash incarnation
+        if len(answers) != info_entry["size"]:
+            raise ServiceError(
+                f"shard {shard_id} returned {len(answers)} answers for a "
+                f"batch of {info_entry['size']} documents"
+            )
+        info_entry["waiting"].discard(shard_id)
+        offset = info_entry["offset"]
+        for index, oids in enumerate(answers):
+            merged[offset + index] |= oids
+        if not info_entry["waiting"]:
+            self.batches += 1
+            self.latency.record(time.perf_counter() - info_entry["started"])
+            del outstanding[batch_id]
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        """Filter a single document (a batch of one)."""
+        return self.filter_batch([document])[0]
+
+    def filter_stream(self, text: str) -> list[frozenset[str]]:
+        """Parse a (possibly multi-document) XML text and filter it."""
+        return self.filter_batch(parse_forest(text))
+
+    # ------------------------------------------------------------------
+    # Test hooks, stats, lifecycle
+    # ------------------------------------------------------------------
+
+    def inject_crash(self, shard_id: int, exit_code: int = 17) -> None:
+        """Make *shard_id*'s worker die on its next task (tests only)."""
+        if not self.parallel:
+            raise ServiceError("inject_crash requires parallel mode")
+        handle = self._workers[shard_id]
+        handle.tasks.put(("crash", exit_code))
+
+    def stats(self) -> dict:
+        per_shard = []
+        for shard_id, filters in enumerate(self._shard_filters):
+            entry: dict = {"shard": shard_id, "filters": len(filters)}
+            workload = self._workloads.get(shard_id)
+            entry["afa_states"] = workload.state_count if workload is not None else 0
+            machine = self._machines.get(shard_id)
+            if machine is not None:
+                entry["xpush_states"] = machine.state_count
+                entry["hit_ratio"] = machine.stats.hit_ratio
+            elif shard_id in self._workers:
+                info = self._workers[shard_id].info
+                entry["xpush_states"] = info.get("xpush_states", 0)
+                entry["hit_ratio"] = info.get("hit_ratio", 0.0)
+            else:
+                entry["xpush_states"] = 0
+                entry["hit_ratio"] = 0.0
+            per_shard.append(entry)
+        depths = []
+        for handle in self._workers.values():
+            try:
+                depths.append(handle.tasks.qsize())
+            except (NotImplementedError, OSError):
+                depths.append(-1)
+        return {
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "parallel": self.parallel,
+            "serial_fallback": not self.parallel,
+            "batch_size": self.batch_size,
+            "queue_depth": self.queue_depth,
+            "documents": self.documents,
+            "batches": self.batches,
+            "worker_restarts": self.worker_restarts,
+            "queue_depths": depths,
+            "per_shard": per_shard,
+            "batch_latency": self.latency.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Stop all workers; the engine cannot filter afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers.values():
+            if handle.process is None:
+                continue
+            try:
+                handle.tasks.put_nowait(("stop",))
+            except queue_module.Full:
+                pass
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        self._workers.clear()
+        self._machines.clear()
+
+    def __enter__(self) -> "ShardedFilterEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-time best effort
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass

@@ -1,0 +1,40 @@
+"""Batch-latency tracking for the sharded service's ``stats()``.
+
+A bounded ring of recent batch latencies; percentiles use the
+nearest-rank method so they are exact over the retained window and
+need no numeric dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class LatencyTracker:
+    """Records per-batch wall-clock latencies; reports percentiles."""
+
+    def __init__(self, window: int = 1024):
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained window (seconds)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        """Percentiles in milliseconds, as reported by ``stats()``."""
+        return {
+            "count": self.count,
+            "p50_ms": self.percentile(0.50) * 1000.0,
+            "p90_ms": self.percentile(0.90) * 1000.0,
+            "p99_ms": self.percentile(0.99) * 1000.0,
+            "max_ms": (max(self._samples) if self._samples else 0.0) * 1000.0,
+        }

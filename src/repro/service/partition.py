@@ -1,0 +1,82 @@
+"""Workload partitioning strategies for the sharded service.
+
+Partitioning is over *filters*, not documents: every shard sees every
+document, each shard answers for its own subset of oids, and the union
+of the per-shard answers equals the serial machine's answer (the
+differential tests assert exactly this).  Three strategies:
+
+- ``hash`` — shard by a stable hash of the oid (CRC-32, so placement
+  is identical across processes and interpreter restarts; Python's
+  builtin ``hash`` is salted per process and must not be used here).
+  Insertion-order independent: a filter lands on the same shard no
+  matter when it subscribed.
+- ``round_robin`` — cyclic assignment; perfectly even counts.
+- ``size_balanced`` — greedy longest-processing-time assignment by
+  each filter's AFA state count (compiled via :mod:`repro.afa.build`),
+  so shards carry comparable automaton weight even when filter sizes
+  are skewed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+from repro.errors import WorkloadError
+from repro.xpath.ast import XPathFilter
+
+PARTITION_STRATEGIES = ("hash", "round_robin", "size_balanced")
+
+
+def shard_of_oid(oid: str, shards: int) -> int:
+    """Stable shard index for *oid* under the ``hash`` strategy."""
+    return zlib.crc32(oid.encode("utf-8")) % shards
+
+
+def afa_state_count(xpath_filter: XPathFilter) -> int:
+    """Number of AFA states *xpath_filter* compiles to (shard weight)."""
+    from repro.afa.build import build_workload_automata
+
+    return build_workload_automata([xpath_filter]).state_count
+
+
+def partition_filters(
+    filters: Sequence[XPathFilter], shards: int, strategy: str = "hash"
+) -> list[list[XPathFilter]]:
+    """Split *filters* into *shards* disjoint sub-workloads.
+
+    Always returns exactly *shards* lists (some possibly empty); every
+    input filter appears in exactly one of them, with the original
+    relative order preserved inside each shard.
+    """
+    if shards < 1:
+        raise WorkloadError(f"shard count must be >= 1, got {shards}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise WorkloadError(
+            f"unknown partitioning strategy {strategy!r}; "
+            f"known: {', '.join(PARTITION_STRATEGIES)}"
+        )
+    out: list[list[XPathFilter]] = [[] for _ in range(shards)]
+    if shards == 1:
+        out[0].extend(filters)
+        return out
+    if strategy == "hash":
+        for f in filters:
+            out[shard_of_oid(f.oid, shards)].append(f)
+    elif strategy == "round_robin":
+        for index, f in enumerate(filters):
+            out[index % shards].append(f)
+    else:  # size_balanced: greedy LPT over AFA state counts
+        weighted = sorted(
+            ((afa_state_count(f), index, f) for index, f in enumerate(filters)),
+            key=lambda item: (-item[0], item[1]),
+        )
+        loads = [0] * shards
+        placed: list[list[tuple[int, XPathFilter]]] = [[] for _ in range(shards)]
+        for weight, index, f in weighted:
+            target = loads.index(min(loads))
+            loads[target] += weight
+            placed[target].append((index, f))
+        for shard, pairs in enumerate(placed):
+            out[shard] = [f for _, f in sorted(pairs)]
+    return out

@@ -1,0 +1,103 @@
+"""Worker-process side of the sharded filtering service.
+
+Each worker owns one shard: it rebuilds the shard's pre-compiled
+workload from a :mod:`repro.xpush.persist` snapshot (so the expensive
+XPath parsing and AFA compilation happened exactly once, in the
+parent), constructs its own :class:`~repro.xpush.machine.XPushMachine`
+and warms it with ``warm_up()`` — the lazy transition tables are
+per-process and training rebuilds them deterministically, which the
+persist-determinism test pins down.
+
+Protocol (plain picklable tuples):
+
+parent → worker, on the shard's task queue:
+
+- ``("batch", batch_id, [xml_text, ...])`` — filter each single-document
+  text, reply with one oid-set per text;
+- ``("crash", exit_code)`` — die immediately (test hook for the
+  crash-recovery path);
+- ``("stop",)`` — drain and exit cleanly.
+
+worker → parent, on the shared result queue:
+
+- ``("ready", shard_id, info)`` — machine built and warmed;
+- ``("batch", shard_id, batch_id, [frozenset, ...], info)``;
+- ``("error", shard_id, batch_id, message)`` — a batch failed (bad
+  document, internal error); the parent raises it.
+
+``info`` carries the worker's current ``state_count``/``hit_ratio`` so
+the parent's ``stats()`` can report per-shard machine sizes without an
+extra control round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def build_payload(
+    workload_json: dict,
+    options,
+    dtd,
+    warm: bool = True,
+    training_seed: int = 0,
+) -> dict:
+    """The picklable description of one shard a worker boots from."""
+    return {
+        "workload": workload_json,
+        "options": options,
+        "dtd": dtd,
+        "warm": warm,
+        "training_seed": training_seed,
+    }
+
+
+def _build_machine(payload: dict):
+    from repro.xpush.machine import XPushMachine
+    from repro.xpush.persist import workload_from_json
+
+    workload = workload_from_json(payload["workload"])
+    machine = XPushMachine(workload, payload["options"], dtd=payload["dtd"])
+    if payload.get("warm", True) and not machine.options.train:
+        machine.warm_up(seed=payload.get("training_seed", 0))
+    return machine
+
+
+def _machine_info(machine) -> dict:
+    return {
+        "xpush_states": machine.state_count,
+        "afa_states": machine.workload.state_count,
+        "hit_ratio": machine.stats.hit_ratio,
+        "events": machine.stats.events,
+    }
+
+
+def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
+    """Run one shard worker until a ``stop`` task (or a crash hook)."""
+    try:
+        machine = _build_machine(payload)
+    except Exception as error:  # noqa: BLE001 - forwarded to the parent
+        results.put(("error", shard_id, None, f"worker init failed: {error!r}"))
+        return
+    results.put(("ready", shard_id, _machine_info(machine)))
+    while True:
+        task = tasks.get()
+        kind = task[0]
+        if kind == "stop":
+            return
+        if kind == "crash":
+            # Test hook: simulate a hard worker failure mid-stream.
+            os._exit(task[1] if len(task) > 1 else 17)
+        if kind != "batch":
+            results.put(("error", shard_id, None, f"unknown task {kind!r}"))
+            continue
+        _, batch_id, texts = task
+        try:
+            answers = []
+            for text in texts:
+                answers.extend(machine.filter_stream(text))
+            machine.clear_results()
+        except Exception as error:  # noqa: BLE001 - forwarded to the parent
+            results.put(("error", shard_id, batch_id, repr(error)))
+            continue
+        results.put(("batch", shard_id, batch_id, answers, _machine_info(machine)))

@@ -1,0 +1,74 @@
+"""Property tests for workload partitioning.
+
+The invariants every strategy must uphold: exactly *shards* output
+lists, every filter placed exactly once (no loss, no duplication), and
+deterministic placement.  The ``hash`` strategy additionally promises
+*insertion-order independence* — the property the broker's rebuild
+path relies on (a resubscribed workload lands on the same shards no
+matter the subscription order).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.partition import partition_filters, shard_of_oid
+from repro.xpath.parser import parse_xpath
+
+oids = st.lists(
+    st.text(alphabet="abcdefghij0123456789", min_size=1, max_size=8),
+    unique=True,
+    max_size=20,
+)
+shard_counts = st.integers(min_value=1, max_value=6)
+strategies = st.sampled_from(["hash", "round_robin", "size_balanced"])
+
+SOURCES = ["//a", "/a[b]", "//a[b/text()=1]", "//c[@d>2 and e]"]
+
+
+def _filters(names):
+    return [parse_xpath(SOURCES[i % len(SOURCES)], oid) for i, oid in enumerate(names)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(names=oids, shards=shard_counts, strategy=strategies)
+def test_partition_is_an_exact_cover(names, shards, strategy):
+    filters = _filters(names)
+    parts = partition_filters(filters, shards, strategy)
+    assert len(parts) == shards
+    placed = [f.oid for part in parts for f in part]
+    assert sorted(placed) == sorted(names)  # nothing lost, nothing doubled
+    again = partition_filters(filters, shards, strategy)
+    assert [[f.oid for f in part] for part in parts] == [
+        [f.oid for f in part] for part in again
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(names=oids, shards=shard_counts)
+def test_hash_placement_ignores_insertion_order(names, shards):
+    filters = _filters(names)
+    forward = partition_filters(filters, shards, "hash")
+    backward = partition_filters(list(reversed(filters)), shards, "hash")
+    for shard in range(shards):
+        assert {f.oid for f in forward[shard]} == {f.oid for f in backward[shard]}
+    for f in filters:
+        assert shard_of_oid(f.oid, shards) < shards
+
+
+def test_round_robin_is_even():
+    filters = _filters([f"q{i}" for i in range(10)])
+    parts = partition_filters(filters, 4, "round_robin")
+    assert [len(p) for p in parts] == [3, 3, 2, 2]
+
+
+def test_size_balanced_spreads_weight():
+    # One deliberately heavy filter plus many trivial ones: LPT must not
+    # stack extra filters onto the heavy shard when lighter bins exist.
+    heavy = parse_xpath("//a[b/text()=1 and .//a[@c>2] and d[e and not(f)]]", "heavy")
+    light = [parse_xpath("//a", f"l{i}") for i in range(6)]
+    parts = partition_filters([heavy] + light, 3, "size_balanced")
+    heavy_shard = next(i for i, part in enumerate(parts) if any(f.oid == "heavy" for f in part))
+    other = [len(parts[i]) for i in range(3) if i != heavy_shard]
+    assert len(parts[heavy_shard]) <= min(other) + 1

@@ -1,0 +1,71 @@
+"""Determinism of the snapshot-shipping path.
+
+Workers boot from a :mod:`repro.xpush.persist` snapshot rather than the
+parent's in-memory automata.  For that to be sound the round-trip must
+be *behaviourally* identical, not merely answer-identical: a machine
+built from the loaded workload, warmed with the same seed and replayed
+over the same stream, must make the same lazy-table decisions — same
+hit ratio, same state counts, same everything the stats record.
+"""
+
+from __future__ import annotations
+
+from repro.afa.build import build_workload_automata
+from repro.service.worker import _build_machine, build_payload
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+from repro.xpush.persist import workload_from_json, workload_to_json
+from tests.conftest import make_workload
+
+TD = XPushOptions(top_down=True, precompute_values=False)
+
+
+def _replay(machine, stream):
+    results = machine.filter_stream(stream)
+    return results, machine.stats.snapshot()
+
+
+def test_snapshot_round_trip_replays_identically(protein):
+    filters = make_workload(protein, 20, seed=29)
+    stream = protein.stream_text(12)
+    original = build_workload_automata(filters)
+    snapshot = workload_to_json(original)
+    restored = workload_from_json(snapshot)
+
+    parent = XPushMachine(original, TD, dtd=protein.dtd)
+    parent.warm_up(seed=0)
+    child = XPushMachine(restored, TD, dtd=protein.dtd)
+    child.warm_up(seed=0)
+
+    parent_results, parent_stats = _replay(parent, stream)
+    child_results, child_stats = _replay(child, stream)
+    assert parent_results == child_results
+    assert parent_stats == child_stats  # includes lookups, hits, hit_ratio
+    assert parent.state_count == child.state_count
+    assert parent_stats["hit_ratio"] == child_stats["hit_ratio"]
+
+
+def test_worker_boot_path_matches_parent_machine(protein):
+    """The exact code path a shard worker runs (payload → machine)."""
+    filters = make_workload(protein, 14, seed=5)
+    stream = protein.stream_text(10)
+    workload = build_workload_automata(filters)
+
+    parent = XPushMachine(workload, TD, dtd=protein.dtd)
+    parent.warm_up(seed=0)
+    worker_machine = _build_machine(
+        build_payload(workload_to_json(workload), TD, protein.dtd, warm=True, training_seed=0)
+    )
+
+    parent_results, parent_stats = _replay(parent, stream)
+    worker_results, worker_stats = _replay(worker_machine, stream)
+    assert parent_results == worker_results
+    assert parent_stats == worker_stats
+
+
+def test_snapshot_is_idempotent(protein):
+    filters = make_workload(protein, 10, seed=41)
+    workload = build_workload_automata(filters)
+    once = workload_to_json(workload)
+    twice = workload_to_json(workload_from_json(once))
+    assert once == twice

@@ -1,5 +1,7 @@
 """Tests for the message broker application."""
 
+import random
+
 import pytest
 
 from repro.broker import MessageBroker
@@ -96,3 +98,126 @@ def test_incremental_broker_equals_rebuilding_broker():
         layered.publish(doc)
     assert log_plain == log_layered
     assert layered.stats()["layered"]["insertions"] == 3
+
+
+# ----------------------------------------------------------------------
+# Sharded mode (docs/scaling.md) and batch publishing
+# ----------------------------------------------------------------------
+
+#: A small document pool with structures the filter pool below can hit.
+DOC_POOL = [
+    "<a><b>1</b></a>",
+    '<a c="3"><b>1</b></a>',
+    "<a><b>2</b></a>",
+    "<c><d/></c>",
+    "<d/>",
+    "<a><a><b>1</b></a></a>",
+]
+
+FILTER_POOL = [
+    "//a",
+    "/a[b]",
+    "//a[b/text() = 1]",
+    "//a[@c > 2]",
+    "//c[d]",
+    "//d",
+    "//b[text() = 2]",
+    "/a[b = 1 and not(c)]",
+]
+
+
+def _make_modes():
+    """The three broker modes the delivery-equivalence property covers."""
+    return {
+        "plain": MessageBroker(),
+        "incremental": MessageBroker(incremental=True),
+        "sharded": MessageBroker(shards=2, shard_parallel=False),
+    }
+
+
+def test_publish_batch_counts_and_delivery():
+    broker = MessageBroker()
+    inbox = []
+    broker.on_deliver = lambda who, doc: inbox.append((who, doc.root.label))
+    broker.subscribe("alice", "//a")
+    broker.subscribe("bob", "//c[d]")
+    docs = [parse_document(text) for text in DOC_POOL]
+    assert broker.publish_batch(docs) == 5
+    assert broker.stats()["published"] == len(docs)
+    assert inbox.count(("bob", "c")) == 1
+    assert broker.publish_batch([]) == 0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_broker_modes_agree_on_random_interleavings(seed):
+    """Subscribe/unsubscribe/publish interleavings deliver identically
+    in rebuild, incremental and sharded modes, and an unsubscribed oid
+    is never delivered after its removal."""
+    rng = random.Random(seed)
+    docs = [parse_document(text) for text in DOC_POOL]
+    modes = _make_modes()
+    logs = {name: [] for name in modes}
+    removed: set[str] = set()  # subscribers unsubscribed in every mode
+    for name, broker in modes.items():
+        broker.on_deliver = lambda who, doc, log=logs[name]: log.append(who)
+    active: list[tuple[dict[str, str], str]] = []  # (oid per mode, subscriber)
+    counter = 0
+    for _ in range(40):
+        action = rng.random()
+        if action < 0.35 or not active:
+            xpath = rng.choice(FILTER_POOL)
+            subscriber = f"sub-{counter}"
+            counter += 1
+            oids = {
+                name: broker.subscribe(subscriber, xpath)
+                for name, broker in modes.items()
+            }
+            active.append((oids, subscriber))
+        elif action < 0.5:
+            index = rng.randrange(len(active))
+            oids, subscriber = active.pop(index)
+            for name, broker in modes.items():
+                broker.unsubscribe(oids[name])
+            removed.add(subscriber)
+        else:
+            doc = rng.choice(docs)
+            counts = {name: broker.publish(doc) for name, broker in modes.items()}
+            assert len(set(counts.values())) == 1, counts
+            for name in modes:
+                delivered_now = logs[name][-counts[name]:] if counts[name] else []
+                assert not (set(delivered_now) & removed), (
+                    f"{name}: delivery to unsubscribed {set(delivered_now) & removed}"
+                )
+    reference = logs["plain"]
+    assert logs["incremental"] == reference
+    assert logs["sharded"] == reference
+    for broker in modes.values():
+        broker.close()
+
+
+def test_sharded_broker_with_worker_processes():
+    plain = MessageBroker()
+    with MessageBroker(shards=2, batch_size=2) as sharded:
+        log_plain, log_sharded = [], []
+        plain.on_deliver = lambda who, doc: log_plain.append(who)
+        sharded.on_deliver = lambda who, doc: log_sharded.append(who)
+        for broker in (plain, sharded):
+            broker.subscribe("alice", "//a[b/text() = 1]")
+            broker.subscribe("bob", "//c[d]")
+            broker.subscribe("carol", "//a")
+        docs = [parse_document(text) for text in DOC_POOL]
+        assert plain.publish_batch(docs) == sharded.publish_batch(docs)
+        assert log_plain == log_sharded
+        stats = sharded.stats()
+        assert stats["worker_restarts"] == 0
+        assert stats["sharded"]["shards"] == 2
+        assert stats["xpush_states"] > 0
+        if not stats["sharded"]["serial_fallback"]:
+            assert stats["sharded"]["batches"] >= 3  # batched fan-out happened
+
+
+def test_sharded_and_incremental_modes_are_exclusive():
+    with pytest.raises(WorkloadError):
+        MessageBroker(incremental=True, shards=2)
+    with pytest.raises(WorkloadError):
+        MessageBroker(shards=0)

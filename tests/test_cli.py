@@ -33,6 +33,42 @@ def test_filter_command(query_file, stream_file, capsys):
     assert out[2] == "2\t-"
 
 
+def test_filter_sharded_matches_serial(query_file, stream_file, capsys):
+    assert main(["filter", "--queries", query_file, "--input", stream_file]) == 0
+    serial = capsys.readouterr().out
+    assert (
+        main(
+            ["filter", "--queries", query_file, "--input", stream_file,
+             "--shards", "3", "--batch-size", "2", "--strategy", "round_robin"]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert captured.out == serial
+    assert "3 shards" in captured.err
+
+
+def test_filter_sharded_from_compiled_workload(query_file, stream_file, tmp_path, capsys):
+    compiled = str(tmp_path / "workload.json")
+    assert main(["compile", "--queries", query_file, "--out", compiled]) == 0
+    capsys.readouterr()
+    assert main(["filter", "--queries", query_file, "--input", stream_file]) == 0
+    serial = capsys.readouterr().out
+    assert (
+        main(["filter", "--compiled", compiled, "--input", stream_file, "--shards", "2"])
+        == 0
+    )
+    assert capsys.readouterr().out == serial
+
+
+def test_filter_rejects_bad_shard_count(query_file, stream_file, capsys):
+    assert (
+        main(["filter", "--queries", query_file, "--input", stream_file, "--shards", "0"])
+        == 2
+    )
+    assert "--shards" in capsys.readouterr().err
+
+
 def test_filter_with_order_variant_requires_dtd(query_file, stream_file, capsys):
     code = main(
         ["filter", "--queries", query_file, "--input", stream_file, "--variant", "TD-order"]
