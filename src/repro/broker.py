@@ -62,6 +62,7 @@ class MessageBroker:
         batch_size: int = 16,
         shard_strategy: str = "hash",
         shard_parallel: bool | None = None,
+        backend: str = "auto",
     ):
         """*incremental* selects the update strategy of Sec. 8: False =
         brute-force rebuild on change (flush the cache); True = keep a
@@ -74,7 +75,13 @@ class MessageBroker:
         per shard, worker processes unless *shard_parallel* is False)
         and packets are filtered by fan-out/union.  Subscription changes
         keep the Sec. 8 brute-force contract: the sharded engine is torn
-        down and rebuilt lazily on the next publish."""
+        down and rebuilt lazily on the next publish.
+
+        *backend* selects the parser backend of the push-mode event
+        path used when packets arrive as text (``publish_text``) and by
+        shard workers (``"python"``, ``"expat"`` or ``"auto"``; see
+        :func:`repro.xmlstream.parser.parse_into`).  Routing decisions
+        are backend-independent — this is a throughput knob only."""
         if incremental and shards > 1:
             raise WorkloadError("incremental and sharded modes are mutually exclusive")
         if shards < 1:
@@ -86,6 +93,13 @@ class MessageBroker:
         self.batch_size = int(batch_size)
         self.shard_strategy = shard_strategy
         self.shard_parallel = shard_parallel
+        from repro.xmlstream.parser import resolve_backend
+
+        try:
+            resolve_backend(backend)  # validate eagerly, at construction
+        except ValueError as error:
+            raise WorkloadError(str(error)) from None
+        self.backend = backend
         self._subscriptions: dict[str, Subscription] = {}
         self._machine: XPushMachine | None = None
         self._layered = None
@@ -159,6 +173,7 @@ class MessageBroker:
                 strategy=self.shard_strategy,
                 batch_size=self.batch_size,
                 parallel=self.shard_parallel,
+                backend=self.backend,
             )
         return self._sharded
 
@@ -202,16 +217,19 @@ class MessageBroker:
         return total
 
     def publish_text(self, xml_text: str) -> int:
-        """Parse and route every document in *xml_text* as one batch."""
+        """Parse and route every document in *xml_text* as one batch.
+
+        Parsing uses the broker's configured push-mode *backend*."""
         from repro.xmlstream.dom import parse_forest
 
-        return self.publish_batch(parse_forest(xml_text))
+        return self.publish_batch(parse_forest(xml_text, backend=self.backend))
 
     def stats(self) -> dict:
         out = {
             "subscriptions": len(self._subscriptions),
             "published": self.published,
             "delivered": self.delivered,
+            "backend": self.backend,
         }
         if self._layered is not None:
             layered = self._layered.stats()

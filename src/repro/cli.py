@@ -97,6 +97,7 @@ def cmd_filter(args) -> int:
             dtd=dtd,
             strategy=args.strategy,
             batch_size=args.batch_size,
+            backend=args.backend,
         ) as engine:
             start = time.perf_counter()
             results = engine.filter_stream(text)
@@ -111,7 +112,7 @@ def cmd_filter(args) -> int:
     else:
         machine = XPushMachine(workload, options, dtd=dtd)
         start = time.perf_counter()
-        results = machine.filter_stream(text)
+        results = machine.filter_stream(text, backend=args.backend)
         elapsed = time.perf_counter() - start
         footer = f"{machine.state_count} states, hit ratio {machine.stats.hit_ratio:.1%}"
     for i, matched in enumerate(results):
@@ -119,6 +120,7 @@ def cmd_filter(args) -> int:
     megabytes = len(text.encode("utf-8")) / 1e6
     print(
         f"# {len(results)} documents, {len(filters)} filters, "
+        f"backend={args.backend}, "
         f"{elapsed:.3f}s ({megabytes / elapsed if elapsed else 0:.2f} MB/s), "
         f"{footer}",
         file=sys.stderr,
@@ -260,13 +262,16 @@ def cmd_bench(args) -> int:
         workload, variant_options(args.variant), dtd=dataset.dtd
     )
     start = time.perf_counter()
-    machine.filter_stream(stream)
+    machine.filter_stream(stream, backend=args.backend)
     cold = time.perf_counter() - start
     machine.clear_results()
     start = time.perf_counter()
-    machine.filter_stream(stream)
+    machine.filter_stream(stream, backend=args.backend)
     warm = time.perf_counter() - start
-    print(f"variant={args.variant} queries={args.queries} data={megabytes:.2f}MB")
+    print(
+        f"variant={args.variant} queries={args.queries} data={megabytes:.2f}MB "
+        f"backend={args.backend}"
+    )
     print(f"cold: {cold:.3f}s ({megabytes / cold:.2f} MB/s)")
     print(f"warm: {warm:.3f}s ({megabytes / warm:.2f} MB/s)")
     print(f"states={machine.state_count} avg_size={machine.average_state_size:.1f} "
@@ -282,6 +287,7 @@ def cmd_bench(args) -> int:
             options=variant_options(args.variant),
             dtd=dataset.dtd,
             batch_size=args.batch_size,
+            backend=args.backend,
         ) as engine:
             engine.filter_batch(documents)  # warm the shard machines
             start = time.perf_counter()
@@ -325,6 +331,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="hash",
                    choices=["hash", "round_robin", "size_balanced"],
                    help="shard partitioning strategy")
+    p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
+                   help="parser backend for the push-mode event path "
+                        "(auto = expat when available)")
     p.set_defaults(func=cmd_filter)
 
     p = sub.add_parser("compile", help="pre-compile a query file to a workload JSON")
@@ -377,6 +386,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also measure a sharded engine with N worker processes")
     p.add_argument("--batch-size", type=int, default=16,
                    help="documents per work item in sharded mode")
+    p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
+                   help="parser backend for the push-mode event path")
     p.set_defaults(func=cmd_bench)
 
     return parser

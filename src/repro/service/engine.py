@@ -111,6 +111,10 @@ class ShardedFilterEngine:
         result_timeout: seconds of *no progress* before a batch is
             declared stuck and :class:`ServiceError` is raised.
         start_method: multiprocessing start method override.
+        backend: parser backend the workers use on the push-mode event
+            path (``"python"``, ``"expat"`` or ``"auto"``; see
+            :func:`repro.xmlstream.parser.parse_into`).  Answers are
+            backend-independent — this is a throughput knob only.
     """
 
     def __init__(
@@ -128,7 +132,14 @@ class ShardedFilterEngine:
         training_seed: int = 0,
         result_timeout: float = 60.0,
         start_method: str | None = None,
+        backend: str = "auto",
     ):
+        from repro.xmlstream.parser import resolve_backend
+
+        try:
+            resolve_backend(backend)  # validate eagerly, fail at build time
+        except ValueError as error:
+            raise WorkloadError(str(error)) from None
         if batch_size < 1:
             raise WorkloadError(f"batch_size must be >= 1, got {batch_size}")
         if queue_depth < 1:
@@ -145,6 +156,7 @@ class ShardedFilterEngine:
         self.warm = warm
         self.training_seed = training_seed
         self.result_timeout = float(result_timeout)
+        self.backend = backend
 
         self._shard_filters = partition_filters(self.filters, self.shards, strategy)
         self._active = [i for i, fs in enumerate(self._shard_filters) if fs]
@@ -221,6 +233,7 @@ class ShardedFilterEngine:
                 dtd,
                 warm=self.warm,
                 training_seed=self.training_seed,
+                backend=self.backend,
             )
             handle = _WorkerHandle(shard_id)
             self._workers[shard_id] = handle
@@ -381,7 +394,7 @@ class ShardedFilterEngine:
 
     def filter_stream(self, text: str) -> list[frozenset[str]]:
         """Parse a (possibly multi-document) XML text and filter it."""
-        return self.filter_batch(parse_forest(text))
+        return self.filter_batch(parse_forest(text, backend=self.backend))
 
     # ------------------------------------------------------------------
     # Test hooks, stats, lifecycle
@@ -421,6 +434,7 @@ class ShardedFilterEngine:
         return {
             "shards": self.shards,
             "strategy": self.strategy,
+            "backend": self.backend,
             "parallel": self.parallel,
             "serial_fallback": not self.parallel,
             "batch_size": self.batch_size,

@@ -41,6 +41,7 @@ def build_payload(
     dtd,
     warm: bool = True,
     training_seed: int = 0,
+    backend: str = "auto",
 ) -> dict:
     """The picklable description of one shard a worker boots from."""
     return {
@@ -49,6 +50,7 @@ def build_payload(
         "dtd": dtd,
         "warm": warm,
         "training_seed": training_seed,
+        "backend": backend,
     }
 
 
@@ -92,10 +94,11 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
             results.put(("error", shard_id, None, f"unknown task {kind!r}"))
             continue
         _, batch_id, texts = task
+        backend = payload.get("backend", "auto")
         try:
             answers = []
             for text in texts:
-                answers.extend(machine.filter_stream(text))
+                answers.extend(machine.filter_stream(text, backend=backend))
             machine.clear_results()
         except Exception as error:  # noqa: BLE001 - forwarded to the parent
             results.put(("error", shard_id, batch_id, repr(error)))

@@ -26,10 +26,20 @@ from repro.xmlstream.events import (
     events_of_document,
     is_attribute_label,
 )
-from repro.xmlstream.parser import iterparse, parse_events
+from repro.xmlstream.events import EventHandler
+from repro.xmlstream.parser import (
+    BACKENDS,
+    PushScanner,
+    iterparse,
+    make_scanner,
+    parse_events,
+    parse_into,
+    resolve_backend,
+)
 from repro.xmlstream.writer import document_to_xml, element_to_xml
 
 __all__ = [
+    "BACKENDS",
     "DTD",
     "ContentParticle",
     "Document",
@@ -38,6 +48,8 @@ __all__ = [
     "EndDocument",
     "EndElement",
     "Event",
+    "EventHandler",
+    "PushScanner",
     "StartDocument",
     "StartElement",
     "Text",
@@ -46,7 +58,10 @@ __all__ = [
     "events_of_document",
     "is_attribute_label",
     "iterparse",
+    "make_scanner",
     "parse_document",
     "parse_forest",
     "parse_events",
+    "parse_into",
+    "resolve_backend",
 ]

@@ -159,16 +159,23 @@ def documents_of_events(events: Sequence) -> list[Document]:
     return builder.documents
 
 
-def parse_document(text: str) -> Document:
+def parse_document(text: str, backend: str = "python") -> Document:
     """Parse XML *text* containing exactly one document into a DOM."""
-    documents = parse_forest(text)
+    documents = parse_forest(text, backend)
     if len(documents) != 1:
         raise XMLSyntaxError(f"expected one document, found {len(documents)}")
     return documents[0]
 
 
-def parse_forest(text: str) -> list[Document]:
-    """Parse XML *text* containing zero or more concatenated documents."""
-    from repro.xmlstream.parser import parse_events
+def parse_forest(text: str, backend: str = "python") -> list[Document]:
+    """Parse XML *text* containing zero or more concatenated documents.
 
-    return documents_of_events(parse_events(text))
+    The tree builder is fed directly from the push-mode scanner
+    selected by *backend* (see :func:`repro.xmlstream.parser.parse_into`),
+    so no intermediate event objects are materialised.
+    """
+    from repro.xmlstream.parser import parse_into
+
+    builder = _TreeBuilder()
+    parse_into(text, builder, backend=backend)
+    return builder.documents

@@ -1,0 +1,181 @@
+"""Streaming expat backend for the five-event model.
+
+:class:`ExpatScanner` wraps the C expat parser behind the same
+``feed(chunk)`` / ``close()`` push protocol as
+:class:`repro.xmlstream.parser.PushScanner`, with the fidelity rules of
+the hand-written scanner layered on top:
+
+- **whitespace-only text is suppressed**: character data (including
+  CDATA content) is accumulated across expat callbacks and flushed as
+  one ``text`` event at the next structural event, only when it is
+  non-whitespace — expat otherwise reports inter-element whitespace and
+  splits large text nodes arbitrarily;
+- **attributes keep source order**: ``ordered_attributes`` mode is used
+  (expat's dict form reorders under some builds), and each attribute is
+  lowered to the paper's ``@name`` pseudo-element triple;
+- **multiple concatenated documents** are supported even though a C
+  expat parser handles exactly one document: when expat reports *junk
+  after document element* the error byte offset is used to restart a
+  fresh parser on the remaining input, so ``<a/><b/>`` parses as two
+  documents exactly like the python scanner.  The restart is O(1) per
+  document boundary — no rescanning of document bodies;
+- input is always decoded as UTF-8 (``ParserCreate("utf-8")``), the
+  hand parser's convention, regardless of what an XML declaration
+  claims;
+- expat errors surface as :class:`repro.errors.XMLSyntaxError`, the
+  library-wide parse-failure type.
+
+Like the python scanner, the handler callbacks are invoked directly —
+no event objects are allocated on this path, and the tokenisation
+itself runs in C.
+"""
+
+from __future__ import annotations
+
+import xml.parsers.expat as _expat
+from xml.parsers.expat import errors as _expat_errors
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import EventHandler
+
+_JUNK_AFTER_DOC = _expat_errors.codes[_expat_errors.XML_ERROR_JUNK_AFTER_DOC_ELEMENT]
+_NO_ELEMENTS = _expat_errors.codes[_expat_errors.XML_ERROR_NO_ELEMENTS]
+
+# When a second document's ``<`` arrives at the end of one chunk, expat
+# buffers the incomplete token ("<", "<!", "<!-") and reports the junk
+# error only on the next feed, with the error offset pointing a few
+# bytes *before* that feed's data.  A short tail of previously-fed bytes
+# is retained so the restart can always reconstruct the remainder.
+_TAIL_BYTES = 64
+
+
+class ExpatScanner:
+    """Push-mode scanner backed by C expat; multi-document capable."""
+
+    __slots__ = (
+        "_on_start_document",
+        "_on_start",
+        "_on_text",
+        "_on_end",
+        "_on_end_document",
+        "_parser",
+        "_pending",
+        "_depth",
+        "_any_element",
+        "_fed",
+        "_tail",
+        "_closed",
+    )
+
+    def __init__(self, handler: EventHandler):
+        self._on_start_document = handler.start_document
+        self._on_start = handler.start_element
+        self._on_text = handler.text
+        self._on_end = handler.end_element
+        self._on_end_document = handler.end_document
+        self._pending: list[str] = []
+        self._depth = 0
+        self._closed = False
+        self._new_parser()
+
+    @property
+    def line(self) -> int:
+        """Current 1-based input line (within the current document)."""
+        return max(1, self._parser.CurrentLineNumber)
+
+    def _new_parser(self) -> None:
+        parser = _expat.ParserCreate("utf-8")
+        parser.buffer_text = True
+        parser.ordered_attributes = True
+        parser.StartElementHandler = self._start
+        parser.EndElementHandler = self._end
+        parser.CharacterDataHandler = self._pending.append
+        self._parser = parser
+        self._any_element = False
+        self._fed = 0
+        self._tail = b""
+
+    # ------------------------------------------------------------------
+    # expat callbacks
+    # ------------------------------------------------------------------
+
+    def _flush_text(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        value = pending[0] if len(pending) == 1 else "".join(pending)
+        pending.clear()
+        if value.strip():
+            self._on_text(value)
+
+    def _start(self, name: str, attrs: list[str]) -> None:
+        self._flush_text()
+        if self._depth == 0:
+            self._any_element = True
+            self._on_start_document()
+        self._depth += 1
+        self._on_start(name)
+        if attrs:
+            on_start = self._on_start
+            on_text = self._on_text
+            on_end = self._on_end
+            for i in range(0, len(attrs), 2):
+                label = "@" + attrs[i]
+                on_start(label)
+                on_text(attrs[i + 1])
+                on_end(label)
+
+    def _end(self, name: str) -> None:
+        self._flush_text()
+        self._depth -= 1
+        self._on_end(name)
+        if self._depth == 0:
+            self._on_end_document()
+
+    # ------------------------------------------------------------------
+    # Push protocol
+    # ------------------------------------------------------------------
+
+    def feed(self, chunk: str | bytes) -> None:
+        if self._closed:
+            raise XMLSyntaxError("feed() after close()")
+        if isinstance(chunk, str):
+            chunk = chunk.encode("utf-8")
+        data = chunk
+        while data:
+            parser = self._parser
+            try:
+                parser.Parse(data, False)
+            except _expat.ExpatError as error:
+                if error.code != _JUNK_AFTER_DOC:
+                    raise XMLSyntaxError(str(error), error.lineno, error.offset) from None
+                # A new top-level document begins at the error offset:
+                # restart a fresh parser on the remaining bytes.
+                start = parser.ErrorByteIndex - self._fed
+                if start >= 0:
+                    data = data[start:]
+                else:
+                    if -start > len(self._tail):  # pragma: no cover - safety net
+                        raise XMLSyntaxError(
+                            "cannot locate document boundary", error.lineno
+                        ) from None
+                    data = self._tail[start:] + data
+                self._new_parser()
+                continue
+            self._fed += len(data)
+            self._tail = (self._tail + data)[-_TAIL_BYTES:]
+            return
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._parser.Parse(b"", True)
+        except _expat.ExpatError as error:
+            # An input that ends without ever starting an element
+            # (empty, whitespace, comments/PIs only) is an empty stream
+            # to the python scanner, not an error; match it.
+            if error.code == _NO_ELEMENTS and not self._any_element:
+                return
+            raise XMLSyntaxError(str(error), error.lineno, error.offset) from None

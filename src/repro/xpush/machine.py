@@ -43,7 +43,7 @@ from repro.errors import EventStreamError, MixedContentError, WorkloadError
 from repro.xmlstream.dom import Document
 from repro.xmlstream.dtd import DTD
 from repro.xmlstream.events import Event, dispatch, events_of_document
-from repro.xmlstream.parser import count_bytes, iterparse
+from repro.xmlstream.parser import parse_into
 from repro.xpath.ast import XPathFilter
 from repro.xpath.parser import parse_workload
 from repro.xpush.options import XPushOptions
@@ -378,13 +378,21 @@ class XPushMachine:
         dispatch(events, self)
         return self._results[mark:]
 
-    def filter_stream(self, source: str | bytes | IO) -> list[frozenset[str]]:
-        """Parse and filter a (possibly multi-document) XML text."""
-        if isinstance(source, str):
-            self.stats.bytes_processed += count_bytes(source)
-        elif isinstance(source, bytes):
-            self.stats.bytes_processed += len(source)
-        return self.process_events(iterparse(source))
+    def filter_stream(
+        self, source: str | bytes | IO, backend: str = "auto"
+    ) -> list[frozenset[str]]:
+        """Parse and filter a (possibly multi-document) XML text.
+
+        This is the push-mode fast path: the scanner selected by
+        *backend* (``"python"``, ``"expat"`` or ``"auto"``; see
+        :func:`repro.xmlstream.parser.parse_into`) drives this
+        machine's SAX callbacks directly — no event objects are
+        allocated between parser and machine.  Bytes processed are
+        accounted for every source kind, including file-like objects.
+        """
+        mark = len(self._results)
+        self.stats.bytes_processed += parse_into(source, self, backend=backend)
+        return self._results[mark:]
 
     def filter_document(self, document: Document) -> frozenset[str]:
         """Filter one in-memory document (used by tests and baselines)."""
