@@ -1,0 +1,259 @@
+"""Transition-computation throughput: bitmask runtime vs sets runtime.
+
+The XPush machine's memoised *hit* path is representation-independent
+(a dict probe either way); what the compiled bitmask tables buy is the
+*miss* path — ``t_pop``/``t_badd``/``t_value``/``t_push`` computed from
+scratch.  That cost dominates in exactly the regimes the paper worries
+about: low hit ratios (Fig. 8) and large workloads (Figs. 6/10), where
+most events touch a state/event pair for the first time.
+
+This bench measures both runtimes on the same Protein stream across a
+sweep of workload sizes, in two regimes:
+
+- **cold** — ``reset_tables()`` before every document, so every
+  transition is recomputed (hit ratio ≈ 0 across documents).  This
+  isolates the compute path the bitmask rewrite targets.
+- **warm** — a second pass over the same stream with tables intact;
+  both runtimes should converge here because hits dominate.
+
+Per-run, the transition counters give a per-computed-transition cost
+(ns/transition) alongside document throughput, and the two runtimes'
+answers are asserted identical — a perf run that diverges is a bug.
+
+Entry points:
+
+- ``python benchmarks/bench_transitions.py [--quick] [--json PATH]`` —
+  the CI smoke test.  ``--quick`` shrinks the sweep and **fails**
+  unless the bitmask runtime is at least 2x the sets runtime on the
+  cold path at the largest size (a host-independent relative gate).
+- ``pytest benchmarks/bench_transitions.py`` — pytest-benchmark
+  harness at ``REPRO_BENCH_SCALE`` size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.afa.build import build_workload_automata
+from repro.bench.workloads import scaled, standard_stream, standard_workload
+from repro.xmlstream.dom import parse_forest
+from repro.xmlstream.parser import count_bytes
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+
+TD = XPushOptions(top_down=True, precompute_values=False)
+
+#: The acceptance gate: cold-path bitmask throughput vs sets, largest size.
+QUICK_GATE_SPEEDUP = 2.0
+
+QUICK_SIZES = (100, 250, 500)
+FULL_SIZES = (500, 1_000, 2_000)
+
+
+def _measure(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _transition_count(machine: XPushMachine) -> int:
+    stats = machine.stats
+    return (
+        stats.pop_computed
+        + stats.add_computed
+        + stats.value_computed
+        + stats.push_computed
+    )
+
+
+def _run_one(workload, options, documents, repeats: int) -> dict:
+    """Cold and warm measurements for one (workload, runtime) pair."""
+    machine = XPushMachine(workload, options)
+    answers: list = []
+
+    def cold_pass():
+        answers.clear()
+        for document in documents:
+            machine.reset_tables()
+            answers.append(machine.filter_document(document))
+        machine.clear_results()
+
+    cold_pass()  # warm the allocator/index caches, not the tables
+    machine.stats.reset()
+    cold_seconds = _measure(cold_pass, repeats)
+    # Counters accumulated over `repeats` passes; per-pass share:
+    per_pass = _transition_count(machine) / repeats
+    cold_hit_ratio = machine.stats.hit_ratio
+    cold_answers = list(answers)
+
+    def warm_pass():
+        answers.clear()
+        for document in documents:
+            answers.append(machine.filter_document(document))
+        machine.clear_results()
+
+    warm_pass()  # build the tables once
+    machine.stats.reset()
+    warm_seconds = _measure(warm_pass, repeats)
+    warm_hit_ratio = machine.stats.hit_ratio
+    warm_answers = list(answers)
+
+    n_docs = len(documents)
+    return {
+        "cold": {
+            "seconds": round(cold_seconds, 4),
+            "docs_per_s": round(n_docs / cold_seconds, 1),
+            "transitions_per_pass": int(per_pass),
+            "ns_per_transition": round(cold_seconds / per_pass * 1e9, 1),
+            "hit_ratio": round(cold_hit_ratio, 4),
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 4),
+            "docs_per_s": round(n_docs / warm_seconds, 1),
+            "hit_ratio": round(warm_hit_ratio, 4),
+        },
+        "answers": {"cold": cold_answers, "warm": warm_answers},
+        "states": machine.state_count,
+    }
+
+
+def run(sizes, stream_bytes: int, repeats: int, out=sys.stdout) -> dict:
+    stream = standard_stream(stream_bytes)
+    documents = parse_forest(stream)
+    megabytes = count_bytes(stream) / 1e6
+    print(
+        f"stream: {megabytes:.2f} MB, {len(documents)} documents | "
+        f"sizes: {list(sizes)} | repeats: {repeats}",
+        file=out,
+    )
+    header = (
+        f"{'queries':>8}{'runtime':>9} | {'cold s':>8}{'docs/s':>9}"
+        f"{'ns/trans':>10}{'hit%':>6} | {'warm s':>8}{'docs/s':>9}{'hit%':>6}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    results: dict = {
+        "stream_mb": round(megabytes, 3),
+        "documents": len(documents),
+        "repeats": repeats,
+        "sizes": {},
+    }
+    for queries in sizes:
+        filters, _dataset = standard_workload(queries, mean_predicates=1.15)
+        workload = build_workload_automata(filters)
+        per_runtime: dict = {}
+        for runtime in ("sets", "bitmask"):
+            options = replace(TD, runtime=runtime)
+            measured = _run_one(workload, options, documents, repeats)
+            per_runtime[runtime] = measured
+            cold, warm = measured["cold"], measured["warm"]
+            print(
+                f"{queries:>8}{runtime:>9} | {cold['seconds']:>8.3f}"
+                f"{cold['docs_per_s']:>9.1f}{cold['ns_per_transition']:>10.1f}"
+                f"{cold['hit_ratio'] * 100:>6.1f} | {warm['seconds']:>8.3f}"
+                f"{warm['docs_per_s']:>9.1f}{warm['hit_ratio'] * 100:>6.1f}",
+                file=out,
+            )
+        if per_runtime["bitmask"]["answers"] != per_runtime["sets"]["answers"]:
+            raise SystemExit(
+                f"FATAL: runtimes disagree on answers at {queries} queries"
+            )
+        speedup = {
+            regime: round(
+                per_runtime["sets"][regime]["seconds"]
+                / per_runtime["bitmask"][regime]["seconds"],
+                2,
+            )
+            for regime in ("cold", "warm")
+        }
+        print(
+            f"{'':>8}{'speedup':>9} | cold x{speedup['cold']:.2f}, "
+            f"warm x{speedup['warm']:.2f}, answers identical",
+            file=out,
+        )
+        for measured in per_runtime.values():
+            measured.pop("answers")  # oid-sets don't belong in the JSON
+        results["sizes"][str(queries)] = {
+            "runtimes": per_runtime,
+            "speedup": speedup,
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: small sweep + relative gate "
+                             f"(bitmask >= {QUICK_GATE_SPEEDUP}x sets, cold)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        help=f"workload sizes to sweep (default {list(FULL_SIZES)})")
+    parser.add_argument("--bytes", type=int, default=400_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.quick:
+        sizes = QUICK_SIZES
+        stream_bytes = 120_000
+    else:
+        sizes = tuple(args.sizes) if args.sizes else FULL_SIZES
+        stream_bytes = args.bytes
+    results = run(sizes, stream_bytes, args.repeats)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.quick:
+        largest = str(max(sizes))
+        speedup = results["sizes"][largest]["speedup"]["cold"]
+        if speedup < QUICK_GATE_SPEEDUP:
+            print(
+                f"FAIL: cold-path bitmask speedup x{speedup:.2f} at {largest} "
+                f"queries is below the x{QUICK_GATE_SPEEDUP} gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"gate ok: cold-path bitmask x{speedup:.2f} >= "
+            f"x{QUICK_GATE_SPEEDUP} at {largest} queries"
+        )
+    return 0
+
+
+def test_transition_cold_path(benchmark):
+    """pytest-benchmark harness variant at REPRO_BENCH_SCALE size."""
+    filters, _dataset = standard_workload(
+        scaled(50_000, minimum=200), mean_predicates=1.15
+    )
+    workload = build_workload_automata(filters)
+    documents = parse_forest(standard_stream(scaled(9_120_000, minimum=100_000)))
+
+    def cold_pass(machine):
+        for document in documents:
+            machine.reset_tables()
+            machine.filter_document(document)
+        machine.clear_results()
+
+    bitmask = XPushMachine(workload, TD)
+    sets_machine = XPushMachine(workload, replace(TD, runtime="sets"))
+    cold_pass(bitmask)  # warm allocator + index
+    benchmark.pedantic(lambda: cold_pass(bitmask), rounds=3, iterations=1)
+    bitmask_seconds = _measure(lambda: cold_pass(bitmask), 1)
+    sets_seconds = _measure(lambda: cold_pass(sets_machine), 1)
+    print(
+        f"\ncold pass: sets {sets_seconds:.3f}s vs bitmask {bitmask_seconds:.3f}s "
+        f"(x{sets_seconds / bitmask_seconds:.2f})"
+    )
+    assert bitmask_seconds <= sets_seconds
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,18 @@ the global structures the XPush machine needs: reverse transitions
 ``eval()`` a single ordered pass, the NOT-state list, the terminal list
 feeding the atomic predicate index, and each filter's *notification
 state* for the early-notification optimisation.
+
+``finalize()`` additionally compiles the whole workload into
+:class:`CompiledMasks` — flat integer-bitmask tables where a set of AFA
+states is one Python int with bit *sid* set.  The paper's Sec. 4
+representation is "a sorted array of AFA states plus a 32 bit
+signature"; following the compiled-automaton tradition (YFilter, the
+lazy-DFA line of work), the mask tables turn every set operation on the
+XPush cold path — ``eval``, δ⁻¹, ε-closures, accept/notification
+lookups — into single-int bitwise AND/OR/NOT plus popcount, with no
+frozenset churn and no ``tuple(sorted(...))`` at intern time.  The
+set-based methods below remain the executable specification the mask
+runtime is differentially tested against.
 """
 
 from __future__ import annotations
@@ -41,6 +53,18 @@ from repro.afa.predicates import AtomicPredicate
 
 WILDCARD = "*"
 ATTRIBUTE_WILDCARD = "@*"
+
+
+def bits_of(mask: int) -> tuple[int, ...]:
+    """The set bit positions of *mask*, ascending — the sorted sid
+    tuple a bitmask state set denotes (no sorting needed: bit order
+    *is* sid order)."""
+    out: list[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(out)
 
 
 class StateKind(enum.Enum):
@@ -135,6 +159,7 @@ class WorkloadAutomata:
         self.initial_sids: frozenset[int] = frozenset()
         self._oid_by_initial: dict[int, list[str]] = {}
         self._oid_by_notification: dict[int, list[str]] = {}
+        self.masks: CompiledMasks | None = None  # built by finalize()
         self._finalized = False
 
     # -- construction-time API (used by repro.afa.build) ----------------
@@ -152,7 +177,6 @@ class WorkloadAutomata:
         top_by_label: dict[str, list[int]] = {}
         rev: dict[int, dict[str, list[int]]] = {}
         for state in self.states:
-            state.owner = state.owner  # placeholder for readability
             for label, targets in state.edges.items():
                 for target in targets:
                     rev.setdefault(target, {}).setdefault(label, []).append(state.sid)
@@ -177,6 +201,7 @@ class WorkloadAutomata:
             if afa.notification >= 0:
                 self._oid_by_notification.setdefault(afa.notification, []).append(afa.oid)
         self._compute_ranks()
+        self.masks = CompiledMasks(self)
         self._finalized = True
         return self
 
@@ -327,3 +352,337 @@ class WorkloadAutomata:
         for afa in self.afas:
             lines.append(f"  {afa!r}")
         return "\n".join(lines)
+
+
+class CompiledMasks:
+    """Flat bitmask tables for a finalized workload (the compiled AFA
+    runtime).  A *state set* is one int: bit *sid* set ⇔ sid present.
+
+    Every method here is the integer-mask twin of a set-based method on
+    :class:`WorkloadAutomata` and must agree with it exactly — the
+    differential runtime tests (`tests/xpush/test_runtime_differential`)
+    enforce that; the set versions are the executable spec.
+    """
+
+    __slots__ = (
+        "state_count",
+        "all_mask",
+        "terminal_mask",
+        "not_mask",
+        "initial_mask",
+        "notification_mask",
+        "not_up_mask",
+        "_eps_masks",
+        "_closure_masks",
+        "_up_masks",
+        "_rank_buckets",
+        "_rev_masks",
+        "_rev_targets_by_label",
+        "_push_by_label",
+        "_push_elem_wild",
+        "_push_attr_wild",
+        "_top_masks",
+        "_top_wild_mask",
+        "_top_attr_wild_mask",
+        "_owner_masks",
+        "_oid_by_initial",
+        "_oid_by_notification",
+    )
+
+    def __init__(self, workload: WorkloadAutomata):
+        states = workload.states
+        n = len(states)
+        self.state_count = n
+        self.all_mask = (1 << n) - 1
+
+        terminal = not_mask = initial = notification = 0
+        eps_masks = [0] * n
+        rev_masks: list[dict[str, int] | None] = [None] * n
+        rev_targets_by_label: dict[str, int] = {}
+        for state in states:
+            bit = 1 << state.sid
+            if state.is_terminal:
+                terminal |= bit
+            if state.kind is StateKind.NOT:
+                not_mask |= bit
+            mask = 0
+            for child in state.eps:
+                mask |= 1 << child
+            eps_masks[state.sid] = mask
+            if state.rev:
+                rev_masks[state.sid] = {
+                    label: _mask_of(sources) for label, sources in state.rev.items()
+                }
+                for label in state.rev:
+                    rev_targets_by_label[label] = (
+                        rev_targets_by_label.get(label, 0) | bit
+                    )
+        for afa in workload.afas:
+            initial |= 1 << afa.initial
+            if afa.notification >= 0:
+                notification |= 1 << afa.notification
+        self.terminal_mask = terminal
+        self.not_mask = not_mask
+        self.initial_mask = initial
+        self.notification_mask = notification
+        self._eps_masks = eps_masks
+        self._rev_masks = rev_masks
+        self._rev_targets_by_label = rev_targets_by_label
+        self._top_masks = {
+            label: _mask_of(sids) for label, sids in workload.top_by_label.items()
+        }
+        self._top_wild_mask = self._top_masks.get(WILDCARD, 0)
+        self._top_attr_wild_mask = self._top_masks.get(ATTRIBUTE_WILDCARD, 0)
+
+        # Per-sid transitive ε-closures, both directions.  The ε-graph
+        # is a DAG (finalize() computed topological ranks over it), so
+        # one pass in rank order suffices: a state's closure is itself
+        # plus the union of its ε-children's closures, and its upward
+        # closure is itself plus its ε-parents' upward closures.  These
+        # tables turn every runtime closure into a single OR-sweep over
+        # the argument's bits — no frontier loop, no revisits.
+        by_rank = sorted(states, key=lambda s: s.rank)
+        closure_masks = [0] * n
+        for state in by_rank:  # children (lower rank) first
+            mask = 1 << state.sid
+            for child in state.eps:
+                mask |= closure_masks[child]
+            closure_masks[state.sid] = mask
+        up_masks = [0] * n
+        for state in reversed(by_rank):  # parents (higher rank) first
+            mask = 1 << state.sid
+            for parent in state.eps_parents:
+                mask |= up_masks[parent]
+            up_masks[state.sid] = mask
+        self._closure_masks = closure_masks
+        self._up_masks = up_masks
+        not_up = 0
+        m = not_mask
+        while m:
+            low = m & -m
+            not_up |= up_masks[low.bit_length() - 1]
+            m ^= low
+        self.not_up_mask = not_up
+
+        # Label-edge index for t_push, with the targets' ε-closure baked
+        # in: per label, the mask of source states carrying that label
+        # plus a per-source table of the already-closed target sets —
+        # t_push is then one AND, a sweep over the (few) enabled
+        # sources, and zero closure calls.
+        raw_push: dict[str, tuple[int, dict[int, int]]] = {}
+        for state in states:
+            for label, targets in state.edges.items():
+                closed = 0
+                for target in targets:
+                    closed |= closure_masks[target]
+                sources_mask, by_source = raw_push.get(label, (0, {}))
+                by_source[state.sid] = by_source.get(state.sid, 0) | closed
+                raw_push[label] = (sources_mask | (1 << state.sid), by_source)
+        # Fold the matching wildcard row into every concrete label so
+        # t_push is a single lookup + sweep; the bare wildcard rows stay
+        # in the table as the fallback for labels with no concrete edge.
+        # Each entry also carries the union of all its target closures:
+        # when every source for the label is enabled (the common case at
+        # shallow depths under top-down evaluation) the sweep collapses
+        # to returning that precomputed union.
+        push_by_label: dict[str, tuple[int, dict[int, int], int]] = {}
+        for label, (sources_mask, by_source) in raw_push.items():
+            if label not in (WILDCARD, ATTRIBUTE_WILDCARD):
+                wild = raw_push.get(
+                    ATTRIBUTE_WILDCARD if label.startswith("@") else WILDCARD
+                )
+                if wild is not None:
+                    wild_sources, wild_by_source = wild
+                    sources_mask |= wild_sources
+                    merged = dict(wild_by_source)
+                    for sid, closed in by_source.items():
+                        merged[sid] = merged.get(sid, 0) | closed
+                    by_source = merged
+            full_union = 0
+            for closed in by_source.values():
+                full_union |= closed
+            push_by_label[label] = (sources_mask, by_source, full_union)
+        self._push_by_label = push_by_label
+        self._push_elem_wild = push_by_label.get(WILDCARD)
+        self._push_attr_wild = push_by_label.get(ATTRIBUTE_WILDCARD)
+
+        # Rank-bucketed eval structures: per ε-rank ≥ 1, one candidate
+        # mask per connective kind, so eval_closure is a rank-by-rank
+        # sweep over (candidates ∩ bucket) with one subset/overlap test
+        # per fired state — no sorting, no frozenset allocation.
+        max_rank = max((s.rank for s in states), default=0)
+        buckets = [[0, 0, 0] for _ in range(max_rank + 1)]
+        for state in states:
+            if not state.eps:
+                continue
+            bit = 1 << state.sid
+            if state.kind is StateKind.AND:
+                buckets[state.rank][0] |= bit
+            elif state.kind is StateKind.NOT:
+                buckets[state.rank][1] |= bit
+            else:  # OR with ε-successors
+                buckets[state.rank][2] |= bit
+        self._rank_buckets = tuple(tuple(b) for b in buckets[1:] if any(b))
+
+        # Per-sid mask of the owning AFA's states (early notification
+        # strips a notified filter's whole automaton) and the oid maps
+        # behind t_accept / notification answers.
+        afa_masks = [_mask_of(afa.state_sids) for afa in workload.afas]
+        self._owner_masks = [
+            afa_masks[state.owner] if state.owner >= 0 else 0 for state in states
+        ]
+        self._oid_by_initial = {
+            sid: tuple(oids) for sid, oids in workload._oid_by_initial.items()
+        }
+        self._oid_by_notification = {
+            sid: tuple(oids) for sid, oids in workload._oid_by_notification.items()
+        }
+
+    # -- set algebra on masks --------------------------------------------
+
+    @staticmethod
+    def mask_of(sids: Iterable[int]) -> int:
+        """The mask denoting the set *sids*."""
+        return _mask_of(sids)
+
+    @staticmethod
+    def sids_of(mask: int) -> tuple[int, ...]:
+        """The sorted sid tuple a mask denotes."""
+        return bits_of(mask)
+
+    # -- runtime transitions ---------------------------------------------
+
+    def eval_closure(self, qb_mask: int) -> int:
+        """Mask twin of :meth:`WorkloadAutomata.eval_closure`."""
+        result = qb_mask
+        # Candidate connectives: every NOT state plus the upward
+        # ε-closure of the present states and of the NOTs (the NOT part
+        # is the precomputed ``not_up_mask``).
+        up = self._up_masks
+        seen = self.not_up_mask
+        m = qb_mask
+        while m:
+            low = m & -m
+            seen |= up[low.bit_length() - 1]
+            m ^= low
+        eps = self._eps_masks
+        for and_bucket, not_bucket, or_bucket in self._rank_buckets:
+            m = and_bucket & seen & ~result
+            while m:
+                low = m & -m
+                mask = eps[low.bit_length() - 1]
+                if mask & result == mask:
+                    result |= low
+                m ^= low
+            m = not_bucket & seen & ~result
+            while m:
+                low = m & -m
+                if not eps[low.bit_length() - 1] & result:
+                    result |= low
+                m ^= low
+            m = or_bucket & seen & ~result
+            while m:
+                low = m & -m
+                if eps[low.bit_length() - 1] & result:
+                    result |= low
+                m ^= low
+        return result
+
+    def delta_inverse(self, evaluated_mask: int, label: str, is_attribute: bool) -> int:
+        """Mask twin of :meth:`WorkloadAutomata.delta_inverse`."""
+        out = self._top_masks.get(label, 0)
+        out |= self._top_attr_wild_mask if is_attribute else self._top_wild_mask
+        rev = self._rev_masks
+        targets = self._rev_targets_by_label.get(label)
+        if targets is not None:
+            m = evaluated_mask & targets
+            while m:
+                low = m & -m
+                out |= rev[low.bit_length() - 1][label]
+                m ^= low
+        wildcard = ATTRIBUTE_WILDCARD if is_attribute else WILDCARD
+        targets = self._rev_targets_by_label.get(wildcard)
+        if targets is not None:
+            m = evaluated_mask & targets
+            while m:
+                low = m & -m
+                out |= rev[low.bit_length() - 1][wildcard]
+                m ^= low
+        return out
+
+    def push_targets_closure(
+        self, enabled_mask: int, label: str, is_attribute: bool
+    ) -> int:
+        """ε-closed mask twin of ``epsilon_closure(push_targets(...))``:
+        the target closures are baked into the label index at build
+        time (wildcard rows pre-merged), so t_push costs at most one
+        sweep over the enabled sources for the label."""
+        entry = self._push_by_label.get(label)
+        if entry is None:
+            entry = self._push_attr_wild if is_attribute else self._push_elem_wild
+            if entry is None:
+                return 0
+        sources_mask, by_source, full_union = entry
+        m = enabled_mask & sources_mask
+        if m == sources_mask:
+            return full_union
+        out = 0
+        while m:
+            low = m & -m
+            out |= by_source[low.bit_length() - 1]
+            m ^= low
+        return out
+
+    def epsilon_closure(self, mask: int) -> int:
+        """Mask twin of :meth:`WorkloadAutomata.epsilon_closure`."""
+        closures = self._closure_masks
+        result = mask
+        while mask:
+            low = mask & -mask
+            result |= closures[low.bit_length() - 1]
+            mask ^= low
+        return result
+
+    def accepted_oids(self, qb_mask: int) -> frozenset[str]:
+        """Mask twin of :meth:`WorkloadAutomata.accepted_oids`."""
+        hits = qb_mask & self.initial_mask
+        if not hits:
+            return _EMPTY_OIDS
+        out: list[str] = []
+        by_initial = self._oid_by_initial
+        while hits:
+            low = hits & -hits
+            out.extend(by_initial[low.bit_length() - 1])
+            hits ^= low
+        return frozenset(out)
+
+    def notified_oids(self, noted_mask: int) -> frozenset[str]:
+        """Mask twin of :meth:`WorkloadAutomata.notified_oids`."""
+        out: list[str] = []
+        by_notification = self._oid_by_notification
+        m = noted_mask & self.notification_mask
+        while m:
+            low = m & -m
+            out.extend(by_notification[low.bit_length() - 1])
+            m ^= low
+        return frozenset(out)
+
+    def afa_states(self, noted_mask: int) -> int:
+        """Mask twin of :meth:`WorkloadAutomata.afa_states_of`."""
+        out = 0
+        owner_masks = self._owner_masks
+        while noted_mask:
+            low = noted_mask & -noted_mask
+            out |= owner_masks[low.bit_length() - 1]
+            noted_mask ^= low
+        return out
+
+
+def _mask_of(sids: Iterable[int]) -> int:
+    mask = 0
+    for sid in sids:
+        mask |= 1 << sid
+    return mask
+
+
+_EMPTY_OIDS: frozenset[str] = frozenset()

@@ -157,6 +157,15 @@ class AtomicPredicateIndex:
         self.lookup("\x00repro-no-such-value\x00")
         return len(self._cache)
 
+    def precomputed_items(self) -> list[tuple[Hashable, frozenset]]:
+        """Snapshot of the materialised (key, payload-set) answers.
+
+        This is the supported way to enumerate the cache — e.g. to seed
+        ``t_value`` states after :meth:`precompute` or after a machine
+        table flush — without reaching into the private ``_cache``.
+        """
+        return list(self._cache.items())
+
     @staticmethod
     def _representatives(constants: list, numeric: bool) -> Iterable[str]:
         """One witness value inside every elementary interval.

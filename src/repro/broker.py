@@ -230,6 +230,7 @@ class MessageBroker:
             "published": self.published,
             "delivered": self.delivered,
             "backend": self.backend,
+            "runtime": self.options.runtime,
         }
         if self._layered is not None:
             layered = self._layered.stats()

@@ -27,7 +27,7 @@ from repro.xmlstream.dtdparser import parse_dtd_file
 from repro.xpath.ast import count_atomic_predicates, is_linear
 from repro.xpath.parser import parse_xpath
 from repro.xpush.machine import XPushMachine
-from repro.xpush.options import VARIANTS, variant_options
+from repro.xpush.options import RUNTIMES, VARIANTS, variant_options
 
 
 def _load_queries(path: str):
@@ -68,8 +68,10 @@ def _read_input(path: str) -> str:
 
 
 def cmd_filter(args) -> int:
+    from dataclasses import replace
+
     dtd = parse_dtd_file(args.dtd) if args.dtd else None
-    options = variant_options(args.variant)
+    options = replace(variant_options(args.variant), runtime=args.runtime)
     if options.order and dtd is None:
         raise ReproError(f"variant {args.variant!r} needs --dtd for the order optimisation")
     if args.compiled and args.queries:
@@ -246,6 +248,8 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    from dataclasses import replace
+
     from repro.xpath.generator import GeneratorConfig, QueryGenerator
 
     dataset = _dataset(args.dataset, args.seed)
@@ -258,9 +262,8 @@ def cmd_bench(args) -> int:
     stream = dataset.stream_of_bytes(args.bytes)
     megabytes = len(stream.encode("utf-8")) / 1e6
     workload = build_workload_automata(filters)
-    machine = XPushMachine(
-        workload, variant_options(args.variant), dtd=dataset.dtd
-    )
+    options = replace(variant_options(args.variant), runtime=args.runtime)
+    machine = XPushMachine(workload, options, dtd=dataset.dtd)
     start = time.perf_counter()
     machine.filter_stream(stream, backend=args.backend)
     cold = time.perf_counter() - start
@@ -270,7 +273,7 @@ def cmd_bench(args) -> int:
     warm = time.perf_counter() - start
     print(
         f"variant={args.variant} queries={args.queries} data={megabytes:.2f}MB "
-        f"backend={args.backend}"
+        f"backend={args.backend} runtime={args.runtime}"
     )
     print(f"cold: {cold:.3f}s ({megabytes / cold:.2f} MB/s)")
     print(f"warm: {warm:.3f}s ({megabytes / warm:.2f} MB/s)")
@@ -284,7 +287,7 @@ def cmd_bench(args) -> int:
         with ShardedFilterEngine(
             filters,
             args.shards,
-            options=variant_options(args.variant),
+            options=options,
             dtd=dataset.dtd,
             batch_size=args.batch_size,
             backend=args.backend,
@@ -334,6 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
                    help="parser backend for the push-mode event path "
                         "(auto = expat when available)")
+    p.add_argument("--runtime", default="bitmask", choices=sorted(RUNTIMES),
+                   help="state-set representation for cold-path transitions "
+                        "(bitmask = compiled integer masks, sets = reference)")
     p.set_defaults(func=cmd_filter)
 
     p = sub.add_parser("compile", help="pre-compile a query file to a workload JSON")
@@ -388,6 +394,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="documents per work item in sharded mode")
     p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
                    help="parser backend for the push-mode event path")
+    p.add_argument("--runtime", default="bitmask", choices=sorted(RUNTIMES),
+                   help="state-set representation for cold-path transitions")
     p.set_defaults(func=cmd_bench)
 
     return parser

@@ -435,6 +435,7 @@ class ShardedFilterEngine:
             "shards": self.shards,
             "strategy": self.strategy,
             "backend": self.backend,
+            "runtime": self.options.runtime,
             "parallel": self.parallel,
             "serial_fallback": not self.parallel,
             "batch_size": self.batch_size,

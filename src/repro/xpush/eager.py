@@ -74,7 +74,7 @@ class EagerXPushMachine:
         # t_value: one entry per elementary value class.
         self.index.precompute()
         self.value_states: dict = {}
-        for key, sids in self.index._cache.items():
+        for key, sids in self.index.precomputed_items():
             self.value_states[key] = self._intern(sids)
 
         self.pop_table: dict[tuple[int, str], int] = {}

@@ -17,6 +17,16 @@ interned states (Sec. 4): the first time a (state, event) pair occurs
 there is "a relatively high cost", recovered on every reuse; the hit
 counters quantify it (Fig. 8).
 
+That first-touch cost is paid in one of two interchangeable *runtimes*
+(``XPushOptions.runtime``): ``"bitmask"`` (default) computes against
+the workload's compiled :class:`~repro.afa.automaton.CompiledMasks` —
+state sets are single ints, ``eval``/δ⁻¹/closures are bitwise ops, and
+states intern by their mask with no sorting — while ``"sets"`` keeps
+the original frozenset/tuple algebra as the executable reference
+implementation.  The memoised hit path is identical for both; only the
+miss path differs, which is exactly what dominates in low-hit-ratio
+regimes (Fig. 8) and at large workload sizes (Figs. 6/10).
+
 The Sec. 5 optimisations are selected with
 :class:`repro.xpush.options.XPushOptions`:
 
@@ -110,7 +120,20 @@ class XPushMachine:
             self.index.add(workload.states[sid].predicate, sid)
         self.index.freeze()
 
-        self._prec = compute_precedence(workload, dtd) if self.options.order else None
+        self.runtime = self.options.runtime
+        self._masks = workload.masks if self.runtime == "bitmask" else None
+        if self.runtime == "bitmask" and self._masks is None:
+            raise WorkloadError(
+                "bitmask runtime needs a finalized workload (call finalize())"
+            )
+
+        prec = compute_precedence(workload, dtd) if self.options.order else None
+        self._prec = prec
+        self._prec_masks = (
+            {sid: self._masks.mask_of(required) for sid, required in prec.items()}
+            if prec is not None and self._masks is not None
+            else None
+        )
         self._notification_sids = frozenset(
             afa.notification for afa in workload.afas if afa.notification >= 0
         )
@@ -118,20 +141,37 @@ class XPushMachine:
         self.store = StateStore(
             accepts_of=workload.accepted_oids,
             terminal_sids=frozenset(workload.terminals),
+            masks=self._masks,
         )
-        if self.options.top_down:
-            enabled = workload.epsilon_closure({afa.initial for afa in workload.afas})
-            self.qt0 = self.store.intern_top(enabled)
+        # Cold-path transitions are computed by the selected runtime;
+        # the memoised hit path in the SAX callbacks is shared.
+        if self.runtime == "bitmask":
+            self._compute_push = self._compute_push_bitmask
+            self._compute_value = self._compute_value_bitmask
+            self._compute_pop = self._compute_pop_bitmask
+            self._badd = self._badd_bitmask
         else:
-            self.qt0 = self.store.intern_top(None)
+            self._compute_push = self._compute_push_sets
+            self._compute_value = self._compute_value_sets
+            self._compute_pop = self._compute_pop_sets
+            self._badd = self._badd_sets
+        # The enabled set behind qt0 is a workload constant; compute it
+        # once so table flushes only pay the intern, not the closure.
+        if not self.options.top_down:
+            self._qt0_enabled = None
+        elif self._masks is not None:
+            self._qt0_enabled = self._masks.epsilon_closure(self._masks.initial_mask)
+        else:
+            self._qt0_enabled = workload.epsilon_closure(
+                {afa.initial for afa in workload.afas}
+            )
+        self.qt0 = self._make_qt0()
 
         # Sec. 4, "State Precomputation": in the bottom-up machine the
         # atomic predicate index and the t_value states are precomputed.
         if self.options.precompute_values and not self.options.top_down:
             self.index.precompute()
-            for key, sids in list(self.index._cache.items()):
-                state = self.store.intern_bottom(sids)
-                self.qt0.value_table.setdefault(key, state)
+            self._seed_value_table()
 
         # Per-document registers (Fig. 2).  ``_content`` tracks what the
         # open element contains so far (0 nothing, 1 text, 2 element
@@ -150,6 +190,26 @@ class XPushMachine:
 
         if self.options.train:
             self.warm_up(seed=training_seed)
+
+    def _make_qt0(self) -> XPushTopState:
+        """The initial top-down state in the selected runtime."""
+        if not self.options.top_down:
+            return self.store.intern_top(None)
+        if self._masks is not None:
+            return self.store.intern_top_mask(self._qt0_enabled)
+        return self.store.intern_top(self._qt0_enabled)
+
+    def _seed_value_table(self) -> None:
+        """Seed qt0's ``t_value`` memo from the precomputed index."""
+        masks = self._masks
+        store = self.store
+        table = self.qt0.value_table
+        for key, sids in self.index.precomputed_items():
+            if masks is not None:
+                state = store.intern_bottom_mask(masks.mask_of(sids))
+            else:
+                state = store.intern_bottom(sids)
+            table.setdefault(key, state)
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -228,7 +288,7 @@ class XPushMachine:
             terminal_state = self._compute_value(qt, key, value)
         else:
             stats.hits += 1
-        if terminal_state.sids:
+        if terminal_state.size:
             self._qb = self._badd(self._qb, terminal_state)
 
     def end_element(self, label: str) -> None:
@@ -281,10 +341,10 @@ class XPushMachine:
         return accepted
 
     # ------------------------------------------------------------------
-    # Lazy transition computation
+    # Lazy transition computation — "sets" runtime (the reference spec)
     # ------------------------------------------------------------------
 
-    def _compute_push(self, qt: XPushTopState, label: str) -> XPushTopState:
+    def _compute_push_sets(self, qt: XPushTopState, label: str) -> XPushTopState:
         self.stats.push_computed += 1
         if qt.sids is None:
             nxt = qt  # single top-down state, as in the Sec. 3.2 machine
@@ -294,7 +354,7 @@ class XPushMachine:
         qt.push_table[label] = nxt
         return nxt
 
-    def _compute_value(self, qt: XPushTopState, key, value: str) -> XPushState:
+    def _compute_value_sets(self, qt: XPushTopState, key, value: str) -> XPushState:
         self.stats.value_computed += 1
         sids = self.index.lookup(value)
         if qt.sids is not None:
@@ -303,7 +363,7 @@ class XPushMachine:
         qt.value_table[key] = state
         return state
 
-    def _compute_pop(
+    def _compute_pop_sets(
         self,
         qb: XPushState,
         label: str,
@@ -339,8 +399,8 @@ class XPushMachine:
         """
         return [sid for sid in self._notification_sids & evaluated if qt.enables(sid)]
 
-    def _badd(self, qbs: XPushState, qaux: XPushState) -> XPushState:
-        if not qaux.sids:
+    def _badd_sets(self, qbs: XPushState, qaux: XPushState) -> XPushState:
+        if not qaux.size:
             return qbs
         stats = self.stats
         stats.lookups += 1
@@ -367,6 +427,83 @@ class XPushMachine:
     def _prec_ok(self, sid: int, parent_set: frozenset[int]) -> bool:
         required = self._prec.get(sid)
         return required is None or required <= parent_set
+
+    # ------------------------------------------------------------------
+    # Lazy transition computation — "bitmask" runtime (compiled tables)
+    # ------------------------------------------------------------------
+
+    def _compute_push_bitmask(self, qt: XPushTopState, label: str) -> XPushTopState:
+        self.stats.push_computed += 1
+        if qt.mask is None:
+            nxt = qt  # single top-down state, as in the Sec. 3.2 machine
+        else:
+            closed = self._masks.push_targets_closure(
+                qt.mask, label, label.startswith("@")
+            )
+            nxt = self.store.intern_top_mask(closed)
+        qt.push_table[label] = nxt
+        return nxt
+
+    def _compute_value_bitmask(self, qt: XPushTopState, key, value: str) -> XPushState:
+        self.stats.value_computed += 1
+        mask = self._masks.mask_of(self.index.lookup(value))
+        if qt.mask is not None:
+            mask &= qt.mask
+        state = self.store.intern_bottom_mask(mask)
+        qt.value_table[key] = state
+        return state
+
+    def _compute_pop_bitmask(
+        self,
+        qb: XPushState,
+        label: str,
+        qt: XPushTopState,
+        parent_qt: XPushTopState,
+        pop_key,
+    ) -> tuple[XPushState, frozenset[str]]:
+        self.stats.pop_computed += 1
+        masks = self._masks
+        evaluated = masks.eval_closure(qb.mask)
+        lifted = masks.delta_inverse(evaluated, label, label.startswith("@"))
+        notified: frozenset[str] = frozenset()
+        if self.options.early:
+            if parent_qt.mask is not None:
+                lifted &= parent_qt.mask
+            noted = masks.notification_mask & evaluated
+            if noted and qt.mask is not None:
+                noted &= qt.mask  # only notifications *enabled* at the node
+            if noted:
+                notified = masks.notified_oids(noted)
+                lifted &= ~masks.afa_states(noted)
+        state = self.store.intern_bottom_mask(lifted)
+        entry = (state, notified)
+        qb.pop_table[pop_key] = entry
+        return entry
+
+    def _badd_bitmask(self, qbs: XPushState, qaux: XPushState) -> XPushState:
+        if not qaux.mask:
+            return qbs
+        stats = self.stats
+        stats.lookups += 1
+        out = qbs.add_table.get(qaux.uid)
+        if out is not None:
+            stats.hits += 1
+            return out
+        stats.add_computed += 1
+        parent = qbs.mask
+        merged = parent | qaux.mask
+        prec_masks = self._prec_masks
+        if prec_masks:
+            fresh = qaux.mask & ~parent
+            while fresh:
+                low = fresh & -fresh
+                required = prec_masks.get(low.bit_length() - 1)
+                if required is not None and required & parent != required:
+                    merged ^= low  # a mandated preceding sibling is missing
+                fresh ^= low
+        out = self.store.intern_bottom_mask(merged)
+        qbs.add_table[qaux.uid] = out
+        return out
 
     # ------------------------------------------------------------------
     # Driving the machine
@@ -439,20 +576,14 @@ class XPushMachine:
         data-derived — and precomputed ``t_value`` states are re-seeded
         from it when the machine was built with precomputation."""
         self.store.reset()
-        if self.options.top_down:
-            enabled = self.workload.epsilon_closure(
-                {afa.initial for afa in self.workload.afas}
-            )
-            self.qt0 = self.store.intern_top(enabled)
-        else:
-            self.qt0 = self.store.intern_top(None)
+        self.qt0 = self._make_qt0()
         if self.options.precompute_values and not self.options.top_down:
-            for key, sids in list(self.index._cache.items()):
-                self.qt0.value_table.setdefault(key, self.store.intern_bottom(sids))
+            self._seed_value_table()
         self._qt = self.qt0
         self._qb = self.store.empty
         self._stack = []
         self._content = 0
+        self._early = set()
 
     # ------------------------------------------------------------------
 

@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+#: State-set representations the machine can run with.
+RUNTIMES = ("bitmask", "sets")
+
 
 @dataclass(frozen=True)
 class XPushOptions:
@@ -38,6 +41,16 @@ class XPushOptions:
             machine but cannot when top-down pruning is on (the Sec. 7
             discussion of the TD-only series); we follow that rule at
             machine construction.
+        runtime: state-set representation the machine computes lazy
+            transitions with.  ``"bitmask"`` (default) uses the
+            compiled integer-bitmask tables built at workload
+            ``finalize()`` — every cold-path set operation is a
+            single-int bitwise op and states intern by their mask int.
+            ``"sets"`` is the frozenset/tuple reference implementation,
+            kept as the executable spec the bitmask runtime is
+            differentially tested against.  Answers are identical by
+            construction (and by test); this is purely a speed/memory
+            representation knob.
         max_states: memory management for unbounded streams (Theorem
             6.2 shows states grow linearly with the number of
             documents; Sec. 6: "we need some form of memory management
@@ -53,11 +66,14 @@ class XPushOptions:
     early: bool = False
     train: bool = False
     precompute_values: bool = True
+    runtime: str = "bitmask"
     max_states: int | None = None
 
     def __post_init__(self):
         if self.early and not self.top_down:
             raise ValueError("early notification requires top-down pruning (Sec. 5)")
+        if self.runtime not in RUNTIMES:
+            raise ValueError(f"unknown runtime {self.runtime!r}; known: {sorted(RUNTIMES)}")
         if self.max_states is not None and self.max_states < 1:
             raise ValueError("max_states must be positive")
 
@@ -72,7 +88,10 @@ class XPushOptions:
             ]
             if flag
         ]
-        return "+".join(parts) if parts else "basic"
+        described = "+".join(parts) if parts else "basic"
+        if self.runtime != "bitmask":
+            described += f"[{self.runtime}]"
+        return described
 
 
 #: The named machine variants used as series in the paper's figures.

@@ -9,7 +9,11 @@ from untrusted storage: it is plain data validated on load).
 
 The lazily-built machine *states* are deliberately not persisted — they
 are a cache (Sec. 7's framing) and re-warm quickly; training (Sec. 5)
-exists precisely to rebuild them cheaply.
+exists precisely to rebuild them cheaply.  The same goes for the
+compiled bitmask tables (:class:`~repro.afa.automaton.CompiledMasks`):
+they are derived data, rebuilt deterministically by ``finalize()`` on
+load, so the JSON format needs no new fields and old snapshots keep
+loading under the bitmask runtime unchanged.
 """
 
 from __future__ import annotations
@@ -118,6 +122,11 @@ def _validate(workload: WorkloadAutomata) -> None:
     for afa in workload.afas:
         if not 0 <= afa.initial < n:
             raise PersistError("initial state out of range")
+    orphans = [state.sid for state in workload.states if state.owner < 0]
+    if orphans:
+        # Ownerless states would corrupt the per-filter owner masks the
+        # bitmask runtime strips under early notification.
+        raise PersistError(f"states without an owning AFA: {orphans[:8]}")
 
 
 def save_workload(workload: WorkloadAutomata, target: str | IO) -> None:

@@ -4,15 +4,23 @@ The paper represents an XPush state as "a sorted array of AFA states,
 plus a 32 bit signature (hash value)", with all discovered states stored
 "in a hash table indexed by their signature", and the six transition
 functions as arrays of hash tables hanging off the states.  This module
-is the Python equivalent:
+is the Python equivalent, in two interchangeable representations:
 
-- a bottom-up state (:class:`XPushState`) is an interned sorted tuple of
-  AFA sids with its ``t_pop`` and ``t_badd`` memo tables, plus the
-  precomputed ``t_accept`` answer and the early-notification payload;
-- a top-down state (:class:`XPushTopState`) is an interned frozenset of
-  *enabled* AFA sids with its ``t_push`` and ``t_value`` memo tables
-  (without top-down pruning there is exactly one, matching the paper's
-  single-``qt0`` bottom-up machine);
+- **sets** (the reference spec): a bottom-up state is interned by its
+  sorted tuple of AFA sids, a top-down state by its frozenset of
+  *enabled* sids;
+- **bitmask** (the compiled runtime): a state set is a single Python
+  int with bit *sid* set, interned by that int — an O(1) hash with no
+  sorting and no tuple allocation on the cold path.  The ``sids`` /
+  ``sid_set`` views are materialised lazily from the mask, so repr,
+  tracing and statistics keep working unchanged.
+
+- a bottom-up state (:class:`XPushState`) carries its ``t_pop`` and
+  ``t_badd`` memo tables, the precomputed ``t_accept`` answer and the
+  early-notification payload;
+- a top-down state (:class:`XPushTopState`) carries its ``t_push`` and
+  ``t_value`` memo tables (without top-down pruning there is exactly
+  one, matching the paper's single-``qt0`` bottom-up machine);
 - :class:`StateStore` is the signature-indexed intern table; it also
   carries the counters (states created, sizes) behind Figs. 6/7/10/11.
 
@@ -26,24 +34,39 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from repro.afa.automaton import CompiledMasks, bits_of
+
+_EMPTY_OIDS: frozenset[str] = frozenset()
+
 
 class XPushState:
     """One interned bottom-up state: a set of matched AFA subqueries."""
 
     __slots__ = (
         "uid",
-        "sids",
-        "sid_set",
+        "mask",
+        "size",
+        "_sids",
+        "_sid_set",
         "pop_table",
         "add_table",
         "accepts",
         "contains_terminal",
     )
 
-    def __init__(self, uid: int, sids: tuple[int, ...], accepts: frozenset[str], contains_terminal: bool):
+    def __init__(
+        self,
+        uid: int,
+        sids: tuple[int, ...] | None = None,
+        accepts: frozenset[str] = _EMPTY_OIDS,
+        contains_terminal: bool = False,
+        mask: int | None = None,
+    ):
         self.uid = uid
-        self.sids = sids  # sorted tuple — the paper's sorted array
-        self.sid_set = frozenset(sids)
+        self.mask = mask  # int in the bitmask runtime, else None
+        self._sids = sids  # sorted tuple — the paper's sorted array
+        self._sid_set: frozenset[int] | None = None
+        self.size = mask.bit_count() if mask is not None else len(sids)
         # t_pop memo: pop key -> (resulting state, oids notified early)
         self.pop_table: dict[Hashable, tuple["XPushState", frozenset[str]]] = {}
         # t_badd memo: other state uid -> resulting state
@@ -51,8 +74,23 @@ class XPushState:
         self.accepts = accepts  # t_accept, precomputed at intern time
         self.contains_terminal = contains_terminal
 
+    @property
+    def sids(self) -> tuple[int, ...]:
+        """Sorted sid tuple (materialised lazily from the mask)."""
+        sids = self._sids
+        if sids is None:
+            sids = self._sids = bits_of(self.mask)
+        return sids
+
+    @property
+    def sid_set(self) -> frozenset[int]:
+        sid_set = self._sid_set
+        if sid_set is None:
+            sid_set = self._sid_set = frozenset(self.sids)
+        return sid_set
+
     def __len__(self) -> int:
-        return len(self.sids)
+        return self.size
 
     def __repr__(self) -> str:
         preview = ",".join(str(s) for s in self.sids[:8])
@@ -65,39 +103,72 @@ class XPushTopState:
     """One interned top-down state: the set of *enabled* AFA states.
 
     ``sids`` is None in the unpruned machine — the single top-down state
-    ``qt0`` of Sec. 3.2, where every AFA state counts as enabled.
+    ``qt0`` of Sec. 3.2, where every AFA state counts as enabled.  In
+    the bitmask runtime a pruned state is identified by ``mask`` and the
+    frozenset view is materialised lazily.
     """
 
-    __slots__ = ("uid", "sids", "push_table", "value_table")
+    __slots__ = ("uid", "mask", "_sids", "push_table", "value_table")
 
-    def __init__(self, uid: int, sids: frozenset[int] | None):
+    def __init__(
+        self,
+        uid: int,
+        sids: frozenset[int] | None = None,
+        mask: int | None = None,
+    ):
         self.uid = uid
-        self.sids = sids
+        self.mask = mask
+        self._sids = sids
         self.push_table: dict[str, "XPushTopState"] = {}  # t_push memo
         self.value_table: dict[Hashable, "XPushState"] = {}  # t_value memo
 
+    @property
+    def sids(self) -> frozenset[int] | None:
+        sids = self._sids
+        if sids is None and self.mask is not None:
+            sids = self._sids = frozenset(bits_of(self.mask))
+        return sids
+
     def enables(self, sid: int) -> bool:
-        return self.sids is None or sid in self.sids
+        mask = self.mask
+        if mask is not None:
+            return bool((mask >> sid) & 1)
+        sids = self._sids
+        return sids is None or sid in sids
 
     def __repr__(self) -> str:
-        if self.sids is None:
+        if self.mask is None and self._sids is None:
             return f"<Qt#{self.uid} ALL>"
         return f"<Qt#{self.uid} |{len(self.sids)}|>"
 
 
 class StateStore:
-    """Intern tables for bottom-up and top-down states, with counters."""
+    """Intern tables for bottom-up and top-down states, with counters.
 
-    def __init__(self, accepts_of, terminal_sids: frozenset[int]):
-        """``accepts_of(sids)`` computes t_accept for a new state;
-        *terminal_sids* flags states containing predicate terminals
-        (used for the no-mixed-content rule)."""
+    With ``masks`` (a :class:`~repro.afa.automaton.CompiledMasks`), the
+    ``*_mask`` intern methods are available and states hash by their
+    mask int; without it the store is the plain set-keyed table.  One
+    store only ever uses one representation.
+    """
+
+    def __init__(
+        self,
+        accepts_of,
+        terminal_sids: frozenset[int],
+        masks: CompiledMasks | None = None,
+    ):
+        """``accepts_of(sids)`` computes t_accept for a new set-keyed
+        state; *terminal_sids* flags states containing predicate
+        terminals (used for the no-mixed-content rule)."""
         self._accepts_of = accepts_of
         self._terminal_sids = terminal_sids
-        self._bottom: dict[tuple[int, ...], XPushState] = {}
-        self._top: dict[frozenset[int] | None, XPushTopState] = {}
+        self._masks = masks
+        self._bottom: dict[Hashable, XPushState] = {}
+        self._top: dict[Hashable, XPushTopState] = {}
         self.bottom_size_total = 0  # sum of |state| over created states
-        self.empty = self.intern_bottom(())
+        self.empty = (
+            self.intern_bottom_mask(0) if masks is not None else self.intern_bottom(())
+        )
 
     # -- bottom-up -------------------------------------------------------
 
@@ -109,6 +180,22 @@ class StateStore:
             state = XPushState(len(self._bottom), key, self._accepts_of(key), contains_terminal)
             self._bottom[key] = state
             self.bottom_size_total += len(key)
+        return state
+
+    def intern_bottom_mask(self, mask: int) -> XPushState:
+        """Intern by bitmask: one dict probe on an int key — no sorting,
+        no tuple allocation (the compiled runtime's cold-path win)."""
+        state = self._bottom.get(mask)
+        if state is None:
+            masks = self._masks
+            state = XPushState(
+                len(self._bottom),
+                accepts=masks.accepted_oids(mask),
+                contains_terminal=bool(mask & masks.terminal_mask),
+                mask=mask,
+            )
+            self._bottom[mask] = state
+            self.bottom_size_total += state.size
         return state
 
     @property
@@ -134,6 +221,13 @@ class StateStore:
             self._top[sids] = state
         return state
 
+    def intern_top_mask(self, mask: int) -> XPushTopState:
+        state = self._top.get(mask)
+        if state is None:
+            state = XPushTopState(len(self._top), mask=mask)
+            self._top[mask] = state
+        return state
+
     @property
     def top_count(self) -> int:
         return len(self._top)
@@ -144,4 +238,8 @@ class StateStore:
         self._bottom.clear()
         self._top.clear()
         self.bottom_size_total = 0
-        self.empty = self.intern_bottom(())
+        self.empty = (
+            self.intern_bottom_mask(0)
+            if self._masks is not None
+            else self.intern_bottom(())
+        )

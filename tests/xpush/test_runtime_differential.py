@@ -1,0 +1,209 @@
+"""Differential wall for the two machine runtimes (ISSUE 3).
+
+The ``"sets"`` runtime is the executable spec; the compiled
+``"bitmask"`` runtime must produce byte-identical answers — same oids
+per document — for every optimisation combination, on generated
+workloads over both datasets, on hypothesis-generated workloads and
+documents, after a persist round-trip, and through the sharded engine.
+Any divergence is a bug in the compiled tables, never a judgement call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+
+from repro.afa.build import build_workload_automata
+from repro.xpath.semantics import matching_oids
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import VARIANTS, XPushOptions
+
+from tests.conftest import make_workload
+from tests.property.test_machine_properties import documents as gen_documents
+from tests.property.test_machine_properties import workloads as gen_workloads
+from tests.xpush.test_differential import ALL_OPTION_COMBOS
+
+import hypothesis.strategies as st
+
+
+def both_runtimes(options: XPushOptions) -> tuple[XPushOptions, XPushOptions]:
+    return (
+        replace(options, runtime="bitmask"),
+        replace(options, runtime="sets"),
+    )
+
+
+def run_both(filters, options, docs, dtd=None):
+    """(bitmask answers, sets answers) for the same workload and docs."""
+    out = []
+    for opts in both_runtimes(options):
+        machine = XPushMachine(build_workload_automata(filters), opts, dtd=dtd)
+        out.append([machine.filter_document(doc) for doc in docs])
+    return out
+
+
+@pytest.mark.parametrize("options", ALL_OPTION_COMBOS, ids=lambda o: o.describe())
+def test_runtimes_agree_and_match_reference_protein(options, protein, protein_docs):
+    filters = make_workload(protein, 35, seed=101)
+    bitmask, sets = run_both(filters, options, protein_docs, dtd=protein.dtd)
+    assert bitmask == sets
+    assert bitmask == [matching_oids(filters, doc) for doc in protein_docs]
+
+
+@pytest.mark.parametrize("options", ALL_OPTION_COMBOS, ids=lambda o: o.describe())
+def test_runtimes_agree_on_recursive_nasa(options, nasa, nasa_docs):
+    filters = make_workload(nasa, 25, seed=17, prob_descendant=0.3)
+    docs = nasa_docs[:10]
+    bitmask, sets = run_both(filters, options, docs, dtd=nasa.dtd)
+    assert bitmask == sets
+    assert bitmask == [matching_oids(filters, doc) for doc in docs]
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS), ids=str)
+def test_named_variants_agree_across_runtimes(name, protein, protein_docs):
+    options = VARIANTS[name]
+    filters = make_workload(protein, 20, seed=name.__hash__() % 1000)
+    docs = protein_docs[:10]
+    bitmask, sets = run_both(filters, options, docs, dtd=protein.dtd)
+    assert bitmask == sets
+
+
+def test_runtimes_build_identical_state_structure(protein, protein_docs):
+    """Beyond answers: both runtimes materialise the same state lattice
+    (count and per-state sid sets), so every Fig. 6/7 measurement is
+    representation-independent."""
+    filters = make_workload(protein, 30, seed=77)
+    machines = [
+        XPushMachine(build_workload_automata(filters), opts)
+        for opts in both_runtimes(XPushOptions())
+    ]
+    for machine in machines:
+        for doc in protein_docs[:10]:
+            machine.filter_document(doc)
+    a, b = machines
+    assert a.state_count == b.state_count
+    assert a.average_state_size == b.average_state_size
+    assert sorted(s.sids for s in a.store.bottom_states()) == sorted(
+        s.sids for s in b.store.bottom_states()
+    )
+
+
+def test_stats_counters_agree_across_runtimes(protein, protein_docs):
+    filters = make_workload(protein, 30, seed=31)
+    options = XPushOptions(top_down=True, early=True, precompute_values=False)
+    machines = [
+        XPushMachine(build_workload_automata(filters), opts, dtd=protein.dtd)
+        for opts in both_runtimes(options)
+    ]
+    for machine in machines:
+        for doc in protein_docs[:10]:
+            machine.filter_document(doc)
+    a, b = machines
+    assert (a.stats.events, a.stats.documents) == (b.stats.events, b.stats.documents)
+    assert a.stats.pop_computed == b.stats.pop_computed
+    assert a.stats.push_computed == b.stats.push_computed
+    assert a.stats.hit_ratio == b.stats.hit_ratio
+
+
+@given(gen_workloads(), st.lists(gen_documents, min_size=1, max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_hypothesis_runtimes_agree_basic(workload, docs):
+    docs = [doc for doc in docs if not doc.has_mixed_content()]
+    if not docs:
+        return
+    bitmask, sets = run_both(workload, XPushOptions(), docs)
+    assert bitmask == sets
+    assert bitmask == [matching_oids(workload, doc) for doc in docs]
+
+
+@given(gen_workloads(), st.lists(gen_documents, min_size=1, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_hypothesis_runtimes_agree_top_down_early(workload, docs):
+    docs = [doc for doc in docs if not doc.has_mixed_content()]
+    if not docs:
+        return
+    options = XPushOptions(top_down=True, early=True, precompute_values=False)
+    bitmask, sets = run_both(workload, options, docs)
+    assert bitmask == sets
+    assert bitmask == [matching_oids(workload, doc) for doc in docs]
+
+
+def test_persist_round_trip_under_bitmask_runtime(protein, protein_docs, tmp_path):
+    """Snapshots carry no compiled tables; ``finalize()`` on load must
+    rebuild masks that behave identically to the originals."""
+    import io
+
+    from repro.xpush.persist import load_workload, save_workload
+
+    filters = make_workload(protein, 25, seed=44)
+    original = build_workload_automata(filters)
+    buffer = io.StringIO()
+    save_workload(original, buffer)
+    buffer.seek(0)
+    reloaded = load_workload(buffer)
+    assert reloaded.masks is not None
+    for options in both_runtimes(XPushOptions(top_down=True, precompute_values=False)):
+        a = XPushMachine(original, options)
+        b = XPushMachine(reloaded, options)
+        for doc in protein_docs[:10]:
+            assert a.filter_document(doc) == b.filter_document(doc)
+
+
+@pytest.mark.parametrize("shards", [2, 3, 4])
+def test_sharded_engine_agrees_across_runtimes(shards, protein, protein_docs):
+    from repro.service import ShardedFilterEngine
+
+    filters = make_workload(protein, 24, seed=71)
+    docs = protein_docs[:8]
+    answers = []
+    for options in both_runtimes(XPushOptions(top_down=True, precompute_values=False)):
+        with ShardedFilterEngine(
+            filters, shards, options=options, parallel=False, batch_size=3
+        ) as engine:
+            answers.append(engine.filter_batch(docs))
+            assert engine.stats()["runtime"] == options.runtime
+    assert answers[0] == answers[1]
+    assert answers[0] == [matching_oids(filters, doc) for doc in docs]
+
+
+def test_sharded_worker_processes_under_bitmask(protein, protein_docs):
+    """Options (and so the runtime) pickle into the shard worker
+    payloads; the parallel path must agree with ground truth too."""
+    from repro.service import ShardedFilterEngine
+
+    filters = make_workload(protein, 16, seed=5)
+    docs = protein_docs[:6]
+    expected = [matching_oids(filters, doc) for doc in docs]
+    with ShardedFilterEngine(
+        filters, 2, options=XPushOptions(top_down=True, precompute_values=False),
+        batch_size=3, warm=False,
+    ) as engine:
+        if not engine.parallel:
+            pytest.skip("multiprocessing unavailable on this platform")
+        assert engine.filter_batch(docs) == expected
+
+
+def test_reset_tables_clears_early_notifications(protein):
+    """Satellite 1: ``reset_tables`` must drop in-flight early
+    notifications; a stale ``_early`` set would leak oids into the next
+    document's answer after a mid-stream flush."""
+    filters = make_workload(protein, 12, seed=23)
+    options = XPushOptions(top_down=True, early=True, precompute_values=False)
+    for opts in both_runtimes(options):
+        machine = XPushMachine(build_workload_automata(filters), opts)
+        machine.start_document()
+        machine._early.add("ghost-oid")
+        machine.reset_tables()
+        assert machine._early == set()
+
+
+def test_reset_tables_round_trips_both_runtimes(protein, protein_docs):
+    filters = make_workload(protein, 20, seed=61)
+    for opts in both_runtimes(XPushOptions()):
+        machine = XPushMachine(build_workload_automata(filters), opts)
+        before = [machine.filter_document(doc) for doc in protein_docs[:6]]
+        machine.reset_tables()
+        after = [machine.filter_document(doc) for doc in protein_docs[:6]]
+        assert before == after
