@@ -1,65 +1,254 @@
-"""Ablation: memory management for unbounded streams.
+"""Soak benchmark: bounded-memory streaming, clock eviction vs full flush.
 
 Sec. 6 observes that states grow linearly with the number of documents
 ("we need some form of memory management in order to process infinite
 streams") and Sec. 7 frames the machine as a cache whose states "can be
-deleted when we run out of memory and recomputed later".  This bench
-measures that trade-off: capping the state store (flush at document
-boundaries) bounds memory at the cost of re-computation — quantified
-by the hit ratio and filtering time at several caps.
+deleted when we run out of memory and recomputed later".  The brute
+force realisation of that idea — flush everything when the bound is
+crossed — periodically throws away the entire warmed table set and
+re-pays the whole cold path.  The incremental memory manager
+(``max_memory_bytes`` + ``eviction="clock"``) instead evicts only the
+memo tables of states that went cold since the last sweep, so the hot
+working set (and the Fig. 8 hit ratio) survives the bound.
+
+This bench runs one workload over the same Protein *locality* stream
+(recurring hot documents plus an ever-growing tail of novel ones — the
+Sec. 6 infinite-stream shape; see ``locality_stream``) three ways —
+unbounded, bounded+flush, bounded+clock — at the *same* memory bound,
+and checks:
+
+- answers are identical in all three modes (eviction is invisible to
+  correctness);
+- the post-sweep ``resident_bytes`` gauge stays under the bound at
+  every document boundary, for both policies;
+- clock eviction is at least as fast as full flush (``--quick`` CI
+  gate), and the recorded full run shows the x1.3 speedup the
+  incremental design is for.
+
+Entry points:
+
+- ``python benchmarks/bench_memory.py [--quick] [--json PATH]`` — the
+  CI smoke test.  ``--quick`` shrinks the workload and gates on
+  bounded residency + clock >= flush throughput; the full run gates on
+  the stronger x1.3 speedup and is what ``BENCH_memory.json`` records.
+- ``pytest benchmarks/bench_memory.py`` — pytest-benchmark harness at
+  ``REPRO_BENCH_SCALE`` size.
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
 from repro.afa.build import build_workload_automata
-from repro.bench.harness import timed
-from repro.bench.reporting import print_series_table
-from repro.bench.workloads import scaled, standard_stream, standard_workload
+from repro.bench.workloads import locality_stream, scaled, standard_workload
+from repro.xmlstream.parser import count_bytes
 from repro.xpush.machine import XPushMachine
 from repro.xpush.options import XPushOptions
 
+TD = XPushOptions(top_down=True, precompute_values=False, retain_results=False)
 
-def test_memory_capped_machines(benchmark):
-    queries = scaled(50_000, minimum=100)
-    filters, dataset = standard_workload(queries, mean_predicates=1.15)
+#: CI smoke gate: clock eviction must not be slower than full flush.
+QUICK_GATE_SPEEDUP = 1.0
+
+#: Full-run gate, recorded in BENCH_memory.json: the incremental sweep
+#: must beat the flush-everything policy by this factor.
+FULL_GATE_SPEEDUP = 1.3
+
+#: The memory bound, as a fraction of the unbounded machine's resident
+#: bytes — low enough that the bound is crossed repeatedly, high enough
+#: that a working set fits.
+BOUND_FRACTION = 0.35
+
+#: Floor for the derived bound (seeds + registers + a minimal table set
+#: must fit, or "flush" livelocks into flushing every document).
+MIN_BOUND_BYTES = 64 * 1024
+
+QUICK_QUERIES = 300
+FULL_QUERIES = 2_000
+
+
+def _soak(workload, options: XPushOptions, stream: str, repeats: int) -> dict:
+    """One machine over the stream: a convergence pass, then *repeats*
+    measured passes.  Samples the post-management ``resident_bytes``
+    gauge at every document boundary of every pass."""
+    machine = XPushMachine(workload, options)
+    samples: list[int] = []
+    # stats.resident_bytes is refreshed after the previous boundary's
+    # management step, so each callback samples a post-sweep value.
+    machine.on_result = lambda index, oids: samples.append(
+        machine.stats.resident_bytes
+    )
+    machine.filter_stream(stream)  # convergence pass (pays the cold path)
+    machine.stats.reset()
+    best = float("inf")
+    answers: list = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        answers = machine.filter_stream(stream)
+        best = min(best, time.perf_counter() - started)
+    samples.append(machine.stats.resident_bytes)
+    stats = machine.stats
+    return {
+        "seconds": best,
+        "answers": answers,
+        "max_resident": max(samples),
+        "final_resident": machine.store.resident_bytes,
+        "hit_ratio": stats.hit_ratio,
+        "evictions": stats.evictions,
+        "flushes": stats.flushes,
+        "gc_states": stats.gc_states,
+        "states": machine.state_count,
+    }
+
+
+def run(queries: int, stream_bytes: int, repeats: int, out=sys.stdout) -> dict:
+    stream = locality_stream(stream_bytes)
+    megabytes = count_bytes(stream) / 1e6
+    filters, _dataset = standard_workload(queries, mean_predicates=1.15)
     workload = build_workload_automata(filters)
-    stream = standard_stream(scaled(30_000_000, minimum=60_000))
 
-    uncapped = XPushMachine(
-        workload, XPushOptions(top_down=True, precompute_values=False)
-    )
-    _, baseline_seconds = timed(uncapped.filter_stream, stream)
-    baseline_answers = uncapped.results()
-    baseline_states = uncapped.state_count
-
-    rows = [["unbounded", baseline_states, 0, f"{uncapped.stats.hit_ratio:.3f}", baseline_seconds]]
-    caps = [max(50, baseline_states // 2), max(25, baseline_states // 8)]
-    for cap in caps:
-        machine = XPushMachine(
-            workload,
-            XPushOptions(top_down=True, precompute_values=False, max_states=cap),
-        )
-        _, seconds = timed(machine.filter_stream, stream)
-        # Correctness is unaffected by flushing.
-        assert machine.results() == baseline_answers
-        assert machine.state_count <= cap * 2  # cap + at most one doc's states
-        rows.append(
-            [f"cap={cap}", machine.state_count, machine.stats.flushes,
-             f"{machine.stats.hit_ratio:.3f}", seconds]
-        )
-    print_series_table(
-        f"Memory management: state cap vs cost ({queries} queries)",
-        ["store", "final states", "flushes", "hit ratio", "seconds"],
-        rows,
+    unbounded = _soak(workload, TD, stream, repeats)
+    documents = len(unbounded["answers"])
+    bound = max(MIN_BOUND_BYTES, int(unbounded["final_resident"] * BOUND_FRACTION))
+    print(
+        f"workload: {queries} queries | stream: {megabytes:.2f} MB, "
+        f"{documents} documents | unbounded resident: "
+        f"{unbounded['final_resident']} B | bound: {bound} B "
+        f"({bound / max(unbounded['final_resident'], 1):.0%})",
+        file=out,
     )
 
+    modes = {"unbounded": unbounded}
+    for policy in ("flush", "clock"):
+        options = replace(TD, max_memory_bytes=bound, eviction=policy)
+        modes[policy] = _soak(workload, options, stream, repeats)
+
+    header = (
+        f"{'mode':>10} | {'s/pass':>8}{'MB/s':>8}{'hit%':>7}"
+        f"{'max res B':>11}{'evict':>7}{'flush':>6}{'gc':>6}{'states':>7}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name, measured in modes.items():
+        print(
+            f"{name:>10} | {measured['seconds']:>8.3f}"
+            f"{megabytes / measured['seconds']:>8.2f}"
+            f"{measured['hit_ratio'] * 100:>7.1f}{measured['max_resident']:>11}"
+            f"{measured['evictions']:>7}{measured['flushes']:>6}"
+            f"{measured['gc_states']:>6}{measured['states']:>7}",
+            file=out,
+        )
+
+    for policy in ("flush", "clock"):
+        if modes[policy]["answers"] != unbounded["answers"]:
+            raise SystemExit(
+                f"FATAL: {policy}-bounded answers differ from unbounded"
+            )
+    speedup = modes["flush"]["seconds"] / modes["clock"]["seconds"]
+    print(
+        f"{'':>10} | clock x{speedup:.2f} vs flush, answers identical",
+        file=out,
+    )
+
+    results: dict = {
+        "queries": queries,
+        "stream_mb": round(megabytes, 3),
+        "documents": documents,
+        "repeats": repeats,
+        "bound_bytes": bound,
+        "speedup_clock_vs_flush": round(speedup, 2),
+        "modes": {},
+    }
+    for name, measured in modes.items():
+        entry = dict(measured)
+        entry.pop("answers")  # oid-sets don't belong in the JSON
+        entry["seconds"] = round(entry["seconds"], 4)
+        entry["hit_ratio"] = round(entry["hit_ratio"], 4)
+        entry["docs_per_s"] = round(documents / measured["seconds"], 1)
+        entry["bounded"] = name != "unbounded" and entry["max_resident"] <= bound
+        results["modes"][name] = entry
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: small workload + gates "
+                             f"(bounded residency, clock >= "
+                             f"x{QUICK_GATE_SPEEDUP} flush)")
+    parser.add_argument("--queries", type=int,
+                        help=f"workload size (default {FULL_QUERIES})")
+    parser.add_argument("--bytes", type=int, default=600_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.quick:
+        queries = args.queries or QUICK_QUERIES
+        stream_bytes = 400_000
+        repeats = 1
+    else:
+        queries = args.queries or FULL_QUERIES
+        stream_bytes = args.bytes
+        repeats = args.repeats
+    results = run(queries, stream_bytes, repeats)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    failures = []
+    bound = results["bound_bytes"]
+    for policy in ("flush", "clock"):
+        measured = results["modes"][policy]
+        if measured["max_resident"] > bound:
+            failures.append(
+                f"{policy}: resident {measured['max_resident']} B exceeded "
+                f"the {bound} B bound"
+            )
+    gate = QUICK_GATE_SPEEDUP if args.quick else FULL_GATE_SPEEDUP
+    speedup = results["speedup_clock_vs_flush"]
+    if speedup < gate:
+        failures.append(
+            f"clock x{speedup:.2f} vs flush is below the x{gate} gate"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"gate ok: resident bounded at {bound} B in both policies, "
+        f"clock x{speedup:.2f} >= x{gate} vs flush"
+    )
+    return 0
+
+
+def test_memory_clock_eviction(benchmark):
+    """pytest-benchmark harness variant at REPRO_BENCH_SCALE size."""
+    filters, _dataset = standard_workload(
+        scaled(50_000, minimum=150), mean_predicates=1.15
+    )
+    workload = build_workload_automata(filters)
+    stream = locality_stream(scaled(20_000_000, minimum=120_000))
+
+    unbounded = XPushMachine(workload, TD)
+    baseline = unbounded.filter_stream(stream)
+    bound = max(
+        MIN_BOUND_BYTES, int(unbounded.store.resident_bytes * BOUND_FRACTION)
+    )
+    machine = XPushMachine(
+        workload, replace(TD, max_memory_bytes=bound, eviction="clock")
+    )
+    assert machine.filter_stream(stream) == baseline
+    assert machine.stats.resident_bytes <= bound
     benchmark.pedantic(
-        lambda: XPushMachine(
-            workload,
-            XPushOptions(top_down=True, precompute_values=False, max_states=caps[-1]),
-        ).filter_stream(stream),
-        rounds=1,
-        iterations=1,
+        lambda: machine.filter_stream(stream), rounds=3, iterations=1
     )
 
-    # The tighter the cap, the more flushes and the lower the hit ratio.
-    flushes = [row[2] for row in rows]
-    assert flushes[-1] >= flushes[1] >= flushes[0]
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,9 +16,10 @@ Fig. 9-11 sweeps), constants are drawn from the dataset's value pools.
 from __future__ import annotations
 
 import os
+import random
 from functools import lru_cache
 
-from repro.data.protein import ProteinDataset
+from repro.data.protein import ProteinDataset, document_to_xml
 from repro.xpath.ast import XPathFilter, count_atomic_predicates
 from repro.xpath.generator import GeneratorConfig, QueryGenerator
 
@@ -84,3 +85,36 @@ def workload_stats(filters: list[XPathFilter]) -> dict:
 def standard_stream(target_bytes: int, seed: int = 0) -> str:
     """A Protein stream of roughly *target_bytes* UTF-8 bytes."""
     return _dataset(seed).stream_of_bytes(target_bytes)
+
+
+@lru_cache(maxsize=8)
+def locality_stream(
+    target_bytes: int,
+    hot_docs: int = 8,
+    hot_fraction: float = 0.75,
+    seed: int = 0,
+) -> str:
+    """A Protein stream with document-level locality.
+
+    Sec. 6's infinite streams are not uniform: real feeds repeat a small
+    set of recurring message shapes (the hot pool, *hot_fraction* of the
+    documents) while novel content keeps arriving and growing the state
+    space without bound (the tail, every document distinct).  This is
+    the access pattern memory management has to cope with — the tail
+    forces eviction forever, and a policy is judged by whether the hot
+    pool's states survive it.  ``standard_stream`` has no such reuse:
+    every document is distinct, so replaying it makes every reuse
+    distance equal to the whole stream and no bounded policy can do
+    better than any other.
+    """
+    dataset = _dataset(seed)
+    hot = [document_to_xml(doc) for doc in dataset.documents(hot_docs)]
+    tail = ProteinDataset(seed=seed + 1).documents(1 << 30)
+    rng = random.Random(seed + 2)
+    pieces: list[str] = []
+    total = 0
+    while total < target_bytes:
+        text = rng.choice(hot) if rng.random() < hot_fraction else document_to_xml(next(tail))
+        pieces.append(text)
+        total += len(text.encode("utf-8"))
+    return "".join(pieces)

@@ -150,11 +150,18 @@ class MessageBroker:
 
     def _engine(self) -> XPushMachine:
         if self._machine is None:
+            from dataclasses import replace
+
             filters = [
                 parse_xpath(sub.xpath, oid) for oid, sub in self._subscriptions.items()
             ]
+            # The broker delivers each packet's matches immediately; a
+            # machine retaining its own results list would grow without
+            # bound across an unbounded publish stream.
             self._machine = XPushMachine(
-                build_workload_automata(filters), self.options, dtd=self.dtd
+                build_workload_automata(filters),
+                replace(self.options, retain_results=False),
+                dtd=self.dtd,
             )
         return self._machine
 
@@ -246,13 +253,19 @@ class MessageBroker:
                 out["xpush_states"] = sum(
                     entry["xpush_states"] for entry in sharded["per_shard"]
                 )
+                out["resident_bytes"] = sharded["resident_bytes"]
+                out["evictions"] = sharded["evictions"]
             else:
                 out["xpush_states"] = 0
+                out["resident_bytes"] = 0
+                out["evictions"] = 0
             out["hit_ratio"] = 0.0
         else:
             machine = self._machine
             out["xpush_states"] = machine.state_count if machine else 0
             out["hit_ratio"] = machine.stats.hit_ratio if machine else 0.0
+            out["resident_bytes"] = machine.store.resident_bytes if machine else 0
+            out["evictions"] = machine.stats.evictions if machine else 0
         return out
 
     def close(self) -> None:

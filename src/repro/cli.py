@@ -27,7 +27,25 @@ from repro.xmlstream.dtdparser import parse_dtd_file
 from repro.xpath.ast import count_atomic_predicates, is_linear
 from repro.xpath.parser import parse_xpath
 from repro.xpush.machine import XPushMachine
-from repro.xpush.options import RUNTIMES, VARIANTS, variant_options
+from repro.xpush.options import EVICTION_POLICIES, RUNTIMES, VARIANTS, variant_options
+
+
+def _parse_bytes(text: str) -> int:
+    """A byte count with optional K/M/G suffix: '64M', '512K', '2G'."""
+    raw = text.strip()
+    scale = 1
+    suffixes = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    body = raw
+    if body and body[-1].upper() in suffixes:
+        scale = suffixes[body[-1].upper()]
+        body = body[:-1]
+    try:
+        value = int(float(body) * scale)
+    except ValueError:
+        raise ReproError(f"bad byte size {raw!r} (use e.g. 64M, 512K, 2G)") from None
+    if value < 1:
+        raise ReproError(f"byte size must be positive, got {raw!r}")
+    return value
 
 
 def _load_queries(path: str):
@@ -71,7 +89,11 @@ def cmd_filter(args) -> int:
     from dataclasses import replace
 
     dtd = parse_dtd_file(args.dtd) if args.dtd else None
-    options = replace(variant_options(args.variant), runtime=args.runtime)
+    options = replace(
+        variant_options(args.variant), runtime=args.runtime, eviction=args.eviction
+    )
+    if args.max_memory:
+        options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
     if options.order and dtd is None:
         raise ReproError(f"variant {args.variant!r} needs --dtd for the order optimisation")
     if args.compiled and args.queries:
@@ -117,6 +139,12 @@ def cmd_filter(args) -> int:
         results = machine.filter_stream(text, backend=args.backend)
         elapsed = time.perf_counter() - start
         footer = f"{machine.state_count} states, hit ratio {machine.stats.hit_ratio:.1%}"
+        if options.max_memory_bytes is not None or options.max_states is not None:
+            footer += (
+                f", {machine.stats.evictions} evictions, "
+                f"{machine.stats.flushes} flushes, "
+                f"{machine.stats.resident_bytes} resident bytes"
+            )
     for i, matched in enumerate(results):
         print(f"{i}\t{','.join(sorted(matched)) or '-'}")
     megabytes = len(text.encode("utf-8")) / 1e6
@@ -262,7 +290,11 @@ def cmd_bench(args) -> int:
     stream = dataset.stream_of_bytes(args.bytes)
     megabytes = len(stream.encode("utf-8")) / 1e6
     workload = build_workload_automata(filters)
-    options = replace(variant_options(args.variant), runtime=args.runtime)
+    options = replace(
+        variant_options(args.variant), runtime=args.runtime, eviction=args.eviction
+    )
+    if args.max_memory:
+        options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
     machine = XPushMachine(workload, options, dtd=dataset.dtd)
     start = time.perf_counter()
     machine.filter_stream(stream, backend=args.backend)
@@ -279,6 +311,13 @@ def cmd_bench(args) -> int:
     print(f"warm: {warm:.3f}s ({megabytes / warm:.2f} MB/s)")
     print(f"states={machine.state_count} avg_size={machine.average_state_size:.1f} "
           f"hit_ratio={machine.stats.hit_ratio:.1%}")
+    if options.max_memory_bytes is not None:
+        print(
+            f"memory: bound={options.max_memory_bytes} eviction={options.eviction} "
+            f"resident={machine.stats.resident_bytes} "
+            f"evictions={machine.stats.evictions} flushes={machine.stats.flushes} "
+            f"gc_states={machine.stats.gc_states}"
+        )
     if args.shards > 1:
         from repro.service import ShardedFilterEngine
         from repro.xmlstream.dom import parse_forest
@@ -340,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runtime", default="bitmask", choices=sorted(RUNTIMES),
                    help="state-set representation for cold-path transitions "
                         "(bitmask = compiled integer masks, sets = reference)")
+    p.add_argument("--max-memory",
+                   help="bound resident states+tables per machine "
+                        "(bytes, or K/M/G suffix, e.g. 64M); crossing it at a "
+                        "document boundary triggers --eviction")
+    p.add_argument("--eviction", default="clock", choices=sorted(EVICTION_POLICIES),
+                   help="policy when --max-memory is crossed "
+                        "(clock = incremental second-chance sweep, "
+                        "flush = drop all states and tables)")
     p.set_defaults(func=cmd_filter)
 
     p = sub.add_parser("compile", help="pre-compile a query file to a workload JSON")
@@ -396,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parser backend for the push-mode event path")
     p.add_argument("--runtime", default="bitmask", choices=sorted(RUNTIMES),
                    help="state-set representation for cold-path transitions")
+    p.add_argument("--max-memory",
+                   help="bound resident states+tables per machine "
+                        "(bytes, or K/M/G suffix, e.g. 64M)")
+    p.add_argument("--eviction", default="clock", choices=sorted(EVICTION_POLICIES),
+                   help="policy when --max-memory is crossed")
     p.set_defaults(func=cmd_bench)
 
     return parser

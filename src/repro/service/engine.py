@@ -47,6 +47,23 @@ class ServiceError(ReproError):
     """Raised when the sharded service cannot complete a batch."""
 
 
+#: First idle-poll timeout of a collect call; doubles per empty wakeup.
+IDLE_POLL_START = 0.05
+
+#: Idle-poll ceiling — bounds how long a dead worker can go undetected
+#: (liveness checks run on every wakeup).
+IDLE_POLL_CAP = 1.0
+
+
+def _poll_timeout(wakeups: int, remaining: float) -> float:
+    """Exponential idle backoff, capped by the liveness ceiling and the
+    remaining no-progress budget: an idle engine blocks instead of
+    spinning at 20 Hz, but still wakes often enough to respawn dead
+    workers and raises exactly at the deadline."""
+    backoff = IDLE_POLL_START * (1 << min(wakeups, 10))
+    return max(0.0, min(backoff, IDLE_POLL_CAP, remaining))
+
+
 def _default_options() -> XPushOptions:
     return XPushOptions(top_down=True, precompute_values=False)
 
@@ -179,6 +196,7 @@ class ShardedFilterEngine:
         self.documents = 0
         self.batches = 0
         self.worker_restarts = 0
+        self.idle_wakeups = 0
         self.latency = LatencyTracker()
         self._batch_counter = 0
         self._closed = False
@@ -201,11 +219,16 @@ class ShardedFilterEngine:
     # ------------------------------------------------------------------
 
     def _boot_serial(self) -> None:
+        from dataclasses import replace
+
         from repro.xpush.machine import XPushMachine
 
+        # The engine collects every answer itself; a machine retaining
+        # its own copy would grow without bound on long streams.
+        options = replace(self.options, retain_results=False)
         for shard_id in self._active:
             machine = XPushMachine(
-                self._workloads[shard_id], self.options, dtd=self.dtd
+                self._workloads[shard_id], options, dtd=self.dtd
             )
             if self.warm and not self.options.train:
                 machine.warm_up(seed=self.training_seed)
@@ -225,6 +248,9 @@ class ShardedFilterEngine:
             # workers — a performance knob only, answers are unchanged.
             dtd = None
             options = replace(options, order=False, train=False)
+        # Workers report answers over the result queue; retaining them
+        # in the machine too would leak one frozenset per document.
+        options = replace(options, retain_results=False)
         self._results = self._ctx.Queue()
         for shard_id in self._active:
             self._payloads[shard_id] = build_payload(
@@ -295,8 +321,6 @@ class ShardedFilterEngine:
                     merged[offset + index] |= machine.filter_document(doc)
             self.batches += 1
             self.latency.record(time.perf_counter() - started)
-        for machine in self._machines.values():
-            machine.clear_results()
         return [frozenset(s) for s in merged]
 
     def _filter_batch_parallel(self, docs: list[Document]) -> list[frozenset[str]]:
@@ -343,20 +367,24 @@ class ShardedFilterEngine:
     def _collect_once(self, outstanding: dict[int, dict], merged: list[set[str]]) -> None:
         """Receive one message (or tick liveness checks) and fold it in."""
         deadline = time.monotonic() + self.result_timeout
+        wakeups = 0
         while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                waiting = {
+                    bid: sorted(info["waiting"]) for bid, info in outstanding.items()
+                }
+                raise ServiceError(
+                    f"no shard progress for {self.result_timeout:.0f}s; "
+                    f"waiting on {waiting}"
+                ) from None
             try:
-                message = self._results.get(timeout=0.05)
+                message = self._results.get(timeout=_poll_timeout(wakeups, remaining))
                 break
             except queue_module.Empty:
+                wakeups += 1
+                self.idle_wakeups += 1
                 self._check_workers()
-                if time.monotonic() > deadline:
-                    waiting = {
-                        bid: sorted(info["waiting"]) for bid, info in outstanding.items()
-                    }
-                    raise ServiceError(
-                        f"no shard progress for {self.result_timeout:.0f}s; "
-                        f"waiting on {waiting}"
-                    ) from None
         kind = message[0]
         if kind == "ready":
             _, shard_id, info = message
@@ -417,13 +445,28 @@ class ShardedFilterEngine:
             if machine is not None:
                 entry["xpush_states"] = machine.state_count
                 entry["hit_ratio"] = machine.stats.hit_ratio
+                entry["resident_bytes"] = machine.store.resident_bytes
+                entry["table_entries"] = machine.store.table_entries
+                entry["evictions"] = machine.stats.evictions
+                entry["gc_states"] = machine.stats.gc_states
+                entry["flushes"] = machine.stats.flushes
             elif shard_id in self._workers:
                 info = self._workers[shard_id].info
                 entry["xpush_states"] = info.get("xpush_states", 0)
                 entry["hit_ratio"] = info.get("hit_ratio", 0.0)
+                entry["resident_bytes"] = info.get("resident_bytes", 0)
+                entry["table_entries"] = info.get("table_entries", 0)
+                entry["evictions"] = info.get("evictions", 0)
+                entry["gc_states"] = info.get("gc_states", 0)
+                entry["flushes"] = info.get("flushes", 0)
             else:
                 entry["xpush_states"] = 0
                 entry["hit_ratio"] = 0.0
+                entry["resident_bytes"] = 0
+                entry["table_entries"] = 0
+                entry["evictions"] = 0
+                entry["gc_states"] = 0
+                entry["flushes"] = 0
             per_shard.append(entry)
         depths = []
         for handle in self._workers.values():
@@ -443,6 +486,9 @@ class ShardedFilterEngine:
             "documents": self.documents,
             "batches": self.batches,
             "worker_restarts": self.worker_restarts,
+            "idle_wakeups": self.idle_wakeups,
+            "resident_bytes": sum(e["resident_bytes"] for e in per_shard),
+            "evictions": sum(e["evictions"] for e in per_shard),
             "queue_depths": depths,
             "per_shard": per_shard,
             "batch_latency": self.latency.snapshot(),

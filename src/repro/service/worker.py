@@ -71,6 +71,11 @@ def _machine_info(machine) -> dict:
         "afa_states": machine.workload.state_count,
         "hit_ratio": machine.stats.hit_ratio,
         "events": machine.stats.events,
+        "resident_bytes": machine.store.resident_bytes,
+        "table_entries": machine.store.table_entries,
+        "evictions": machine.stats.evictions,
+        "gc_states": machine.stats.gc_states,
+        "flushes": machine.stats.flushes,
     }
 
 
@@ -96,10 +101,11 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
         _, batch_id, texts = task
         backend = payload.get("backend", "auto")
         try:
+            # The engine builds the machine with retain_results=False,
+            # so the per-call return is the only copy — nothing to clear.
             answers = []
             for text in texts:
                 answers.extend(machine.filter_stream(text, backend=backend))
-            machine.clear_results()
         except Exception as error:  # noqa: BLE001 - forwarded to the parent
             results.put(("error", shard_id, batch_id, repr(error)))
             continue

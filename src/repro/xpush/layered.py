@@ -127,8 +127,14 @@ class LayeredFilterEngine:
     def _build(self, filters: list[XPathFilter]) -> XPushMachine | None:
         if not filters:
             return None
+        from dataclasses import replace
+
+        # Layer answers are merged and returned per call; the layer
+        # machines must not retain their own unbounded copies.
         return XPushMachine(
-            build_workload_automata(filters), self.options, dtd=self.dtd
+            build_workload_automata(filters),
+            replace(self.options, retain_results=False),
+            dtd=self.dtd,
         )
 
     # ------------------------------------------------------------------

@@ -60,6 +60,13 @@ from repro.xpush.options import XPushOptions
 from repro.xpush.state import StateStore, XPushState, XPushTopState
 from repro.xpush.stats import MachineStats
 
+#: The clock sweep evicts down to this fraction of ``max_memory_bytes``.
+#: The band between the low and high watermarks absorbs per-document
+#: growth: above *low* a paced clock pass evicts only states that
+#: stayed cold across document boundaries; only above *high* (the hard
+#: bound) does the sweep force eviction regardless of reference bits.
+LOW_WATERMARK_RATIO = 0.8
+
 
 def compute_precedence(workload: WorkloadAutomata, dtd: DTD) -> dict[int, frozenset[int]]:
     """``prec(s)`` of Sec. 5: for ε-children of the same AND state,
@@ -183,9 +190,26 @@ class XPushMachine:
         self._content = 0
         self._early: set[str] = set()
         self._results: list[frozenset[str]] = []
+        # Per-call result sink: filter_stream/process_events collect the
+        # call's own answers here instead of slicing ``_results`` (which
+        # a concurrent clear_results() or a retain_results=False machine
+        # would corrupt).
+        self._collect: list[frozenset[str]] | None = None
+        self._doc_seq = 0  # monotonic document number (on_result index)
+        self._training = False  # warm_up in progress: suspend mgmt/results
+        self._memory_managed = (
+            self.options.max_states is not None
+            or self.options.max_memory_bytes is not None
+        )
+        # Clock hands (uid of the last swept state) for the second-chance
+        # eviction sweep over each intern ring.
+        self._clock_bottom_hand = -1
+        self._clock_top_hand = -1
         #: Optional push-mode sink: called as ``on_result(index, oids)``
         #: the moment each document finishes — lets brokers route
-        #: packets without buffering the results list.
+        #: packets without buffering the results list.  ``index`` is a
+        #: monotonic document sequence number (not affected by
+        #: ``clear_results``); training documents are not reported.
         self.on_result = None
 
         if self.options.train:
@@ -205,11 +229,14 @@ class XPushMachine:
         store = self.store
         table = self.qt0.value_table
         for key, sids in self.index.precomputed_items():
+            if key in table:
+                continue
             if masks is not None:
                 state = store.intern_bottom_mask(masks.mask_of(sids))
             else:
                 state = store.intern_bottom(sids)
-            table.setdefault(key, state)
+            table[key] = state
+            store.note_entries(1)
 
     # ------------------------------------------------------------------
     # Construction conveniences
@@ -265,12 +292,14 @@ class XPushMachine:
             (qt, self._qb, self._content if is_attribute else 2)
         )
         self._content = 0
+        qt.ref = True  # the probed table's owner is hot (CLOCK bit)
         stats.lookups += 1
         nxt = qt.push_table.get(label)
         if nxt is None:
             nxt = self._compute_push(qt, label)
         else:
             stats.hits += 1
+            nxt.ref = True  # a used memo entry keeps its target hot
         self._qt = nxt
         self._qb = self.store.empty
 
@@ -281,6 +310,7 @@ class XPushMachine:
             raise MixedContentError("text after element children in the same parent")
         self._content = 1
         qt = self._qt
+        qt.ref = True
         key = self.index.key_of(value)
         stats.lookups += 1
         terminal_state = qt.value_table.get(key)
@@ -288,6 +318,7 @@ class XPushMachine:
             terminal_state = self._compute_value(qt, key, value)
         else:
             stats.hits += 1
+            terminal_state.ref = True
         if terminal_state.size:
             self._qb = self._badd(self._qb, terminal_state)
 
@@ -299,6 +330,7 @@ class XPushMachine:
                 f"endElement({label}) with no open element: unbalanced event stream"
             )
         qb = self._qb
+        qb.ref = True
         qt = self._qt
         parent_qt, parent_qb, parent_content = self._stack[-1]
         if self.options.early:
@@ -311,6 +343,9 @@ class XPushMachine:
             entry = self._compute_pop(qb, label, qt, parent_qt, pop_key)
         else:
             stats.hits += 1
+            # The lifted state is consumed by _badd below, never probed
+            # as a register — a hit here is its only recency signal.
+            entry[0].ref = True
         lifted, notified = entry
         if notified:
             self._early.update(notified)
@@ -320,24 +355,34 @@ class XPushMachine:
         self._qb = self._badd(parent_qb, lifted)
 
     def end_document(self) -> frozenset[str]:
-        self.stats.events += 1
+        stats = self.stats
+        stats.events += 1
         if self._stack:
             raise EventStreamError(
                 f"endDocument with {len(self._stack)} unclosed element(s)"
             )
-        self.stats.documents += 1
+        stats.documents += 1
         accepted = self._qb.accepts
         if self._early:
             accepted = accepted | frozenset(self._early)
-        self._results.append(accepted)
-        if self.on_result is not None:
-            self.on_result(len(self._results) - 1, accepted)
-        # Memory management (Sec. 6): document boundaries are the safe
-        # points to flush — no stack, no live registers into the tables.
-        limit = self.options.max_states
-        if limit is not None and self.store.bottom_count > limit:
-            self.reset_tables()
-            self.stats.flushes += 1
+        if self._collect is not None:
+            self._collect.append(accepted)
+        if not self._training:
+            if self.options.retain_results:
+                self._results.append(accepted)
+            if self.on_result is not None:
+                self.on_result(self._doc_seq, accepted)
+            self._doc_seq += 1
+            # Memory management (Sec. 6): document boundaries are the
+            # safe points to reclaim — no stack, no live registers into
+            # the tables.  Suspended during warm-up so training states
+            # are never discarded mid-training (Sec. 5).
+            if self._memory_managed:
+                self._manage_memory()
+            else:
+                store = self.store
+                stats.resident_bytes = store.resident_bytes
+                stats.table_entries = store.table_entries
         return accepted
 
     # ------------------------------------------------------------------
@@ -352,6 +397,7 @@ class XPushMachine:
             targets = self.workload.push_targets(qt.sids, label, label.startswith("@"))
             nxt = self.store.intern_top(self.workload.epsilon_closure(targets))
         qt.push_table[label] = nxt
+        self.store.note_entries(1)
         return nxt
 
     def _compute_value_sets(self, qt: XPushTopState, key, value: str) -> XPushState:
@@ -361,6 +407,7 @@ class XPushMachine:
             sids = sids & qt.sids
         state = self.store.intern_bottom(sids)
         qt.value_table[key] = state
+        self.store.note_entries(1)
         return state
 
     def _compute_pop_sets(
@@ -386,6 +433,7 @@ class XPushMachine:
         state = self.store.intern_bottom(lifted)
         entry = (state, notified)
         qb.pop_table[pop_key] = entry
+        self.store.note_entries(1)
         return entry
 
     def _noted_sids(self, evaluated: frozenset[int], qt: XPushTopState) -> list[int]:
@@ -403,10 +451,12 @@ class XPushMachine:
         if not qaux.size:
             return qbs
         stats = self.stats
+        qbs.ref = True
         stats.lookups += 1
         out = qbs.add_table.get(qaux.uid)
         if out is not None:
             stats.hits += 1
+            out.ref = True
             return out
         stats.add_computed += 1
         prec = self._prec
@@ -422,6 +472,7 @@ class XPushMachine:
             merged = qbs.sid_set | qaux.sid_set
         out = self.store.intern_bottom(merged)
         qbs.add_table[qaux.uid] = out
+        self.store.note_entries(1)
         return out
 
     def _prec_ok(self, sid: int, parent_set: frozenset[int]) -> bool:
@@ -442,6 +493,7 @@ class XPushMachine:
             )
             nxt = self.store.intern_top_mask(closed)
         qt.push_table[label] = nxt
+        self.store.note_entries(1)
         return nxt
 
     def _compute_value_bitmask(self, qt: XPushTopState, key, value: str) -> XPushState:
@@ -451,6 +503,7 @@ class XPushMachine:
             mask &= qt.mask
         state = self.store.intern_bottom_mask(mask)
         qt.value_table[key] = state
+        self.store.note_entries(1)
         return state
 
     def _compute_pop_bitmask(
@@ -478,16 +531,19 @@ class XPushMachine:
         state = self.store.intern_bottom_mask(lifted)
         entry = (state, notified)
         qb.pop_table[pop_key] = entry
+        self.store.note_entries(1)
         return entry
 
     def _badd_bitmask(self, qbs: XPushState, qaux: XPushState) -> XPushState:
         if not qaux.mask:
             return qbs
         stats = self.stats
+        qbs.ref = True
         stats.lookups += 1
         out = qbs.add_table.get(qaux.uid)
         if out is not None:
             stats.hits += 1
+            out.ref = True  # a used memo entry keeps its target hot
             return out
         stats.add_computed += 1
         parent = qbs.mask
@@ -503,6 +559,7 @@ class XPushMachine:
                 fresh ^= low
         out = self.store.intern_bottom_mask(merged)
         qbs.add_table[qaux.uid] = out
+        self.store.note_entries(1)
         return out
 
     # ------------------------------------------------------------------
@@ -510,10 +567,21 @@ class XPushMachine:
     # ------------------------------------------------------------------
 
     def process_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
-        """Run a stream of events; returns one oid-set per document."""
-        mark = len(self._results)
-        dispatch(events, self)
-        return self._results[mark:]
+        """Run a stream of events; returns one oid-set per document.
+
+        The call's answers are collected locally (not sliced out of the
+        shared ``results()`` list), so ``clear_results()``, a table
+        flush, or ``retain_results=False`` cannot corrupt the return
+        value.
+        """
+        collected: list[frozenset[str]] = []
+        previous = self._collect
+        self._collect = collected
+        try:
+            dispatch(events, self)
+        finally:
+            self._collect = previous
+        return collected
 
     def filter_stream(
         self, source: str | bytes | IO, backend: str = "auto"
@@ -526,10 +594,17 @@ class XPushMachine:
         machine's SAX callbacks directly — no event objects are
         allocated between parser and machine.  Bytes processed are
         accounted for every source kind, including file-like objects.
+        Like :meth:`process_events`, the call's answers are collected
+        locally, independent of the shared results list.
         """
-        mark = len(self._results)
-        self.stats.bytes_processed += parse_into(source, self, backend=backend)
-        return self._results[mark:]
+        collected: list[frozenset[str]] = []
+        previous = self._collect
+        self._collect = collected
+        try:
+            self.stats.bytes_processed += parse_into(source, self, backend=backend)
+        finally:
+            self._collect = previous
+        return collected
 
     def filter_document(self, document: Document) -> frozenset[str]:
         """Filter one in-memory document (used by tests and baselines)."""
@@ -554,19 +629,33 @@ class XPushMachine:
         event counts reflect real data only — but the states created
         during training remain in the store and are counted by
         ``state_count`` (exactly how Fig. 6 counts them: "additional
-        states created during the training phase")."""
+        states created during the training phase").
+
+        Memory management is suspended while training runs — a flush or
+        sweep triggered by the training documents themselves would
+        silently discard the very states training exists to create.
+        The memory-manager history (``flushes`` / ``evictions`` /
+        ``gc_states``) survives the trailing counter reset.
+        """
         from repro.xpush.training import training_documents
 
         documents = training_documents(
             self.workload, self.dtd, rng=random.Random(seed)
         )
         count = 0
-        for document in documents:
-            self.process_events(events_of_document(document))
-            count += 1
-        if count:
-            del self._results[-count:]
-        self.stats.reset()
+        self._training = True
+        try:
+            for document in documents:
+                self.process_events(events_of_document(document))
+                count += 1
+        finally:
+            self._training = False
+        stats = self.stats
+        flushes, evictions, gc_states = stats.flushes, stats.evictions, stats.gc_states
+        stats.reset()
+        stats.flushes, stats.evictions, stats.gc_states = flushes, evictions, gc_states
+        stats.resident_bytes = self.store.resident_bytes
+        stats.table_entries = self.store.table_entries
         return count
 
     def reset_tables(self) -> None:
@@ -584,6 +673,121 @@ class XPushMachine:
         self._stack = []
         self._content = 0
         self._early = set()
+        self._clock_bottom_hand = -1
+        self._clock_top_hand = -1
+        self.stats.resident_bytes = self.store.resident_bytes
+        self.stats.table_entries = self.store.table_entries
+
+    def _manage_memory(self) -> None:
+        """Apply the memory policy at a document boundary (Sec. 6).
+
+        ``max_states`` keeps its historical brute-force semantics (the
+        escape hatch); ``max_memory_bytes`` triggers the configured
+        eviction policy — a full flush, or the incremental clock sweep
+        down to the low watermark.
+        """
+        options, store, stats = self.options, self.store, self.stats
+        limit = options.max_states
+        if limit is not None and store.bottom_count > limit:
+            self.reset_tables()
+            stats.flushes += 1
+        else:
+            high = options.max_memory_bytes
+            if high is not None and store.resident_bytes > high:
+                if options.eviction == "flush":
+                    self.reset_tables()
+                    stats.flushes += 1
+                else:
+                    self._evict_cold(int(high * LOW_WATERMARK_RATIO), high)
+        stats.resident_bytes = store.resident_bytes
+        stats.table_entries = store.table_entries
+
+    def _evict_cold(self, low: int, high: int) -> None:
+        """Second-chance (CLOCK) sweep toward the low watermark.
+
+        Cycle 1 is one fused epoch (:meth:`StateStore.sweep_epoch`):
+        states whose reference bit is clear (untouched since the last
+        sweep) lose their memo tables *and* their intern slot — where
+        the real memory lives, in the sid payloads — while referenced
+        states survive, pruned of individual entries whose target went
+        cold.  Reference bits are cleared afterwards, opening the next
+        epoch: a state earns its second chance by being probed before
+        the next sweep.  If the epoch did not reach the low watermark
+        (the working set itself outgrew the bound), cycle 2 force-
+        evicts in clock-hand order until the projected target is met
+        and mark-and-sweep GC reclaims whatever that orphaned — at
+        most two cycles over the rings.
+
+        The epoch targets *low* but is only *forced* past the working
+        set when it fails to get back under *high*: landing between the
+        watermarks is acceptable hysteresis (the cold tail is gone and
+        the hard bound holds), whereas forcing down to low from there
+        would evict recently-referenced states — the post-epoch floor
+        is the working set plus the current window, and when that sits
+        just above low a strict target churns exactly the states the
+        policy exists to protect.
+        """
+        store, stats = self.store, self.stats
+        roots = [store.empty, self.qt0, self._qb, self._qt]
+        entries, states, self._clock_bottom_hand, self._clock_top_hand = (
+            store.sweep_epoch(
+                roots, low, self._clock_bottom_hand, self._clock_top_hand
+            )
+        )
+        stats.evictions += entries
+        stats.gc_states += states
+        if store.resident_bytes > high:
+            self._sweep(low, force=True)
+            stats.gc_states += store.collect_garbage(roots)
+        # The precomputed t_value seeds are part of the permanent
+        # working set (Sec. 4): restore any the sweep took.
+        if self.options.precompute_values and not self.options.top_down:
+            self._seed_value_table()
+
+    def _sweep(self, low: int, force: bool = True) -> None:
+        """The forced cycle: evict in clock-hand order, ignoring
+        reference bits, until the projected post-GC resident reaches
+        the low watermark — a desperation sweep that damages no more of
+        the working set than the bound requires."""
+        store = self.store
+        self._clock_bottom_hand, projected = self._sweep_ring(
+            store.bottom_states(), self._clock_bottom_hand, low, 0
+        )
+        if store.resident_bytes - projected > low:
+            self._clock_top_hand, projected = self._sweep_ring(
+                store.top_states(), self._clock_top_hand, low, projected
+            )
+
+    def _sweep_ring(
+        self, states, hand: int, low: int, projected: int
+    ) -> tuple[int, int]:
+        """One forced clock pass over an intern ring, resuming after
+        *hand* (the uid of the last swept state).  Returns the new hand
+        and the accumulated projection.
+
+        *projected* is the state-payload bytes the follow-up GC is
+        expected to reclaim.  The stop condition subtracts it from the
+        resident gauge: table eviction alone only drops entry bytes, a
+        small share of residency, so stopping on the raw gauge would
+        walk the whole ring every sweep and the GC would then overshoot
+        the low watermark into a de-facto full flush."""
+        if not states:
+            return hand, projected
+        store, stats = self.store, self.stats
+        count = len(states)
+        start = 0
+        for i, state in enumerate(states):  # uids are in insertion order
+            if state.uid > hand:
+                start = i
+                break
+        for i in range(count):
+            if store.resident_bytes - projected <= low:
+                break
+            state = states[(start + i) % count]
+            hand = state.uid
+            stats.evictions += store.evict_state_tables(state)
+            projected += store.state_cost(state)
+        return hand, projected
 
     # ------------------------------------------------------------------
 

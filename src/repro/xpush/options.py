@@ -19,6 +19,9 @@ from dataclasses import dataclass, replace
 #: State-set representations the machine can run with.
 RUNTIMES = ("bitmask", "sets")
 
+#: Memory-management policies applied when ``max_memory_bytes`` is crossed.
+EVICTION_POLICIES = ("clock", "flush")
+
 
 @dataclass(frozen=True)
 class XPushOptions:
@@ -58,7 +61,29 @@ class XPushOptions:
             exceeds this many bottom-up states at a document boundary,
             all states and tables are flushed — the machine "can be
             deleted when we run out of memory and recomputed later"
-            (the cache view of Sec. 7).  None = unbounded.
+            (the cache view of Sec. 7).  None = unbounded.  This is the
+            blunt escape hatch; prefer ``max_memory_bytes`` for
+            long-running services.
+        max_memory_bytes: the high watermark of the incremental memory
+            manager.  The store keeps a byte-level estimate of resident
+            state and memo-table memory; when it exceeds this bound at
+            a document boundary, the *eviction* policy runs until the
+            low watermark (80% of the bound) is reached.  None =
+            unbounded.
+        eviction: what to do when ``max_memory_bytes`` is crossed.
+            ``"clock"`` (default) runs a second-chance sweep: memo
+            entries whose owning state was not referenced since the
+            last sweep are dropped, then states no longer reachable
+            from any table, register or intern root are
+            garbage-collected — cold entries go, the hot working set
+            (and its hit ratio) survives.  ``"flush"`` is the paper's
+            brute-force fallback: drop every state and table.
+        retain_results: append each document's answer to the machine's
+            ``results()`` list.  True (default) suits batch use;
+            long-running services driven by ``on_result`` or the
+            return value of ``filter_stream`` set False so an infinite
+            stream does not accumulate one frozenset per document
+            forever.
     """
 
     top_down: bool = False
@@ -68,6 +93,9 @@ class XPushOptions:
     precompute_values: bool = True
     runtime: str = "bitmask"
     max_states: int | None = None
+    max_memory_bytes: int | None = None
+    eviction: str = "clock"
+    retain_results: bool = True
 
     def __post_init__(self):
         if self.early and not self.top_down:
@@ -76,6 +104,13 @@ class XPushOptions:
             raise ValueError(f"unknown runtime {self.runtime!r}; known: {sorted(RUNTIMES)}")
         if self.max_states is not None and self.max_states < 1:
             raise ValueError("max_states must be positive")
+        if self.max_memory_bytes is not None and self.max_memory_bytes < 1:
+            raise ValueError("max_memory_bytes must be positive")
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"known: {sorted(EVICTION_POLICIES)}"
+            )
 
     def describe(self) -> str:
         parts = [

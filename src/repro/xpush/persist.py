@@ -14,6 +14,12 @@ compiled bitmask tables (:class:`~repro.afa.automaton.CompiledMasks`):
 they are derived data, rebuilt deterministically by ``finalize()`` on
 load, so the JSON format needs no new fields and old snapshots keep
 loading under the bitmask runtime unchanged.
+
+Memory-manager state (the Sec. 6 watermark bookkeeping: resident-byte
+estimates, clock hands, reference bits) is likewise not persisted: it
+describes the transient cache, not the workload.  A machine rebuilt
+from a snapshot starts with fresh books and re-converges under the same
+``max_memory_bytes`` bound.
 """
 
 from __future__ import annotations

@@ -22,21 +22,52 @@ is the Python equivalent, in two interchangeable representations:
   ``t_value`` memo tables (without top-down pruning there is exactly
   one, matching the paper's single-``qt0`` bottom-up machine);
 - :class:`StateStore` is the signature-indexed intern table; it also
-  carries the counters (states created, sizes) behind Figs. 6/7/10/11.
+  carries the counters (states created, sizes) behind Figs. 6/7/10/11
+  and the byte-level memory accounting behind the Sec. 6 memory
+  manager (``resident_bytes`` / ``table_entries``).
 
 Interning means state identity *is* set equality, so every memo table
 can key on the interned object's ``uid`` — each SAX event costs a few
 dict probes once the relevant states exist, which is the O(1) per-event
-claim of Sec. 3.1.
+claim of Sec. 3.1.  Uids are drawn from monotonic counters (never
+reused), so a memo entry keyed on an evicted state's uid can go stale
+but can never alias a later state.
+
+Memory accounting is an estimate, deliberately cheap: interning a state
+adds a calibrated per-object cost plus 8 bytes per member sid, and
+every memo-table insertion adds :data:`ENTRY_BYTES` (a dict slot plus
+the small key/value objects a typical entry owns).  The estimates are
+calibrated from ``sys.getsizeof`` at import time, and the incremental
+bookkeeping is checked against a from-scratch :meth:`StateStore.recount`
+walk by the test suite.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Hashable, Iterable
 
 from repro.afa.automaton import CompiledMasks, bits_of
 
 _EMPTY_OIDS: frozenset[str] = frozenset()
+
+
+def _dict_slot_bytes() -> int:
+    probe: dict = {}
+    baseline = sys.getsizeof(probe)
+    for i in range(1024):
+        probe[i] = None
+    return max(32, (sys.getsizeof(probe) - baseline) // 1024)
+
+
+#: Estimated bytes per memo-table entry: one dict slot (amortised over
+#: the table's load factor) plus a typical key object and, for t_pop,
+#: the (state, notified) result tuple.
+ENTRY_BYTES = _dict_slot_bytes() + 72
+
+#: Bytes per AFA sid a state contains (a tuple/frozenset slot, or the
+#: amortised share of the intern key and mask digits).
+SID_BYTES = 8
 
 
 class XPushState:
@@ -46,6 +77,7 @@ class XPushState:
         "uid",
         "mask",
         "size",
+        "ref",
         "_sids",
         "_sid_set",
         "pop_table",
@@ -67,6 +99,7 @@ class XPushState:
         self._sids = sids  # sorted tuple — the paper's sorted array
         self._sid_set: frozenset[int] | None = None
         self.size = mask.bit_count() if mask is not None else len(sids)
+        self.ref = True  # CLOCK reference bit (second-chance eviction)
         # t_pop memo: pop key -> (resulting state, oids notified early)
         self.pop_table: dict[Hashable, tuple["XPushState", frozenset[str]]] = {}
         # t_badd memo: other state uid -> resulting state
@@ -108,7 +141,7 @@ class XPushTopState:
     frozenset view is materialised lazily.
     """
 
-    __slots__ = ("uid", "mask", "_sids", "push_table", "value_table")
+    __slots__ = ("uid", "mask", "ref", "_sids", "push_table", "value_table")
 
     def __init__(
         self,
@@ -119,6 +152,7 @@ class XPushTopState:
         self.uid = uid
         self.mask = mask
         self._sids = sids
+        self.ref = True  # CLOCK reference bit (second-chance eviction)
         self.push_table: dict[str, "XPushTopState"] = {}  # t_push memo
         self.value_table: dict[Hashable, "XPushState"] = {}  # t_value memo
 
@@ -128,6 +162,12 @@ class XPushTopState:
         if sids is None and self.mask is not None:
             sids = self._sids = frozenset(bits_of(self.mask))
         return sids
+
+    @property
+    def size(self) -> int:
+        if self.mask is not None:
+            return self.mask.bit_count()
+        return len(self._sids) if self._sids is not None else 0
 
     def enables(self, sid: int) -> bool:
         mask = self.mask
@@ -142,6 +182,19 @@ class XPushTopState:
         return f"<Qt#{self.uid} |{len(self.sids)}|>"
 
 
+#: Calibrated per-object base costs (slotted instance + two tables).
+BOTTOM_STATE_BYTES = sys.getsizeof(XPushState(0, ())) + 2 * sys.getsizeof({})
+TOP_STATE_BYTES = sys.getsizeof(XPushTopState(0)) + 2 * sys.getsizeof({})
+
+
+def _bottom_cost(state: XPushState) -> int:
+    return BOTTOM_STATE_BYTES + SID_BYTES * state.size
+
+
+def _top_cost(state: XPushTopState) -> int:
+    return TOP_STATE_BYTES + SID_BYTES * state.size
+
+
 class StateStore:
     """Intern tables for bottom-up and top-down states, with counters.
 
@@ -149,6 +202,13 @@ class StateStore:
     ``*_mask`` intern methods are available and states hash by their
     mask int; without it the store is the plain set-keyed table.  One
     store only ever uses one representation.
+
+    The store also keeps the memory manager's books: ``resident_bytes``
+    estimates the bytes held by interned states plus memo-table
+    entries, ``table_entries`` counts live entries.  The machine calls
+    :meth:`note_entries` when it inserts an entry; eviction and GC go
+    through :meth:`evict_state_tables` and :meth:`collect_garbage` so
+    the books stay balanced.
     """
 
     def __init__(
@@ -165,10 +225,205 @@ class StateStore:
         self._masks = masks
         self._bottom: dict[Hashable, XPushState] = {}
         self._top: dict[Hashable, XPushTopState] = {}
-        self.bottom_size_total = 0  # sum of |state| over created states
+        self.bottom_size_total = 0  # sum of |state| over resident states
+        # Uids never restart (a reused uid would alias stale memo keys).
+        self._next_bottom_uid = 0
+        self._next_top_uid = 0
+        self.resident_bytes = 0
+        self.table_entries = 0
         self.empty = (
             self.intern_bottom_mask(0) if masks is not None else self.intern_bottom(())
         )
+
+    # -- memory accounting ----------------------------------------------
+
+    def note_entries(self, count: int = 1) -> None:
+        """Record *count* memo-table insertions (machine cold path)."""
+        self.table_entries += count
+        self.resident_bytes += count * ENTRY_BYTES
+
+    def drop_entries(self, count: int) -> None:
+        self.table_entries -= count
+        self.resident_bytes -= count * ENTRY_BYTES
+
+    def evict_state_tables(self, state: XPushState | XPushTopState) -> int:
+        """Clear one state's memo tables; returns the entries dropped."""
+        if isinstance(state, XPushState):
+            dropped = len(state.pop_table) + len(state.add_table)
+            state.pop_table.clear()
+            state.add_table.clear()
+        else:
+            dropped = len(state.push_table) + len(state.value_table)
+            state.push_table.clear()
+            state.value_table.clear()
+        if dropped:
+            self.drop_entries(dropped)
+        return dropped
+
+    def prune_removed_entries(
+        self, state: XPushState | XPushTopState, removed: set[int]
+    ) -> int:
+        """Drop one state's memo entries whose target is in *removed*
+        (a set of ``id()``\\ s of deported states); returns the entries
+        dropped.  Without this, surviving entries would pin the
+        deported states' payloads live — the accounting gauge would
+        fall while the actual heap did not."""
+        dropped = 0
+        if isinstance(state, XPushState):
+            pop = state.pop_table
+            stale = [key for key, (target, _n) in pop.items() if id(target) in removed]
+            for key in stale:
+                del pop[key]
+            dropped += len(stale)
+            add = state.add_table
+            stale = [key for key, target in add.items() if id(target) in removed]
+            for key in stale:
+                del add[key]
+            dropped += len(stale)
+        else:
+            push = state.push_table
+            stale = [key for key, target in push.items() if id(target) in removed]
+            for key in stale:
+                del push[key]
+            dropped += len(stale)
+            value = state.value_table
+            stale = [key for key, target in value.items() if id(target) in removed]
+            for key in stale:
+                del value[key]
+            dropped += len(stale)
+        if dropped:
+            self.drop_entries(dropped)
+        return dropped
+
+    def state_cost(self, state: XPushState | XPushTopState) -> int:
+        """Estimated bytes the state object itself pins (base cost plus
+        sid payload) — the share of ``resident_bytes`` that only
+        :meth:`collect_garbage` can reclaim.  The sweep uses this to
+        *project* the post-GC resident while walking the clock ring:
+        table eviction alone barely moves ``resident_bytes`` (sid
+        payloads dominate), so stopping on the raw gauge would walk the
+        whole ring and degenerate into a full flush."""
+        if isinstance(state, XPushState):
+            return _bottom_cost(state)
+        return _top_cost(state)
+
+    def sweep_epoch(
+        self, roots: Iterable, low: int, bottom_hand: int, top_hand: int
+    ) -> tuple[int, int, int, int]:
+        """One CLOCK epoch over both intern rings, fused into two
+        passes; returns ``(entries_dropped, states_dropped,
+        bottom_hand, top_hand)``.
+
+        Pass 1 deports cold states (reference bit clear since the
+        previous epoch): starting after each ring's *hand* and stopping
+        as soon as ``resident_bytes`` reaches *low*, a cold state loses
+        its memo tables and its intern slot — where the real memory
+        lives, in the sid payloads.  The target cap and the rotating
+        hand are what make this a second-chance policy rather than a
+        purge: a cold state the target spares keeps its tables, and
+        wins them back outright if probed before the hand comes around
+        again.  *roots* (registers and the intern seeds) are never
+        deported.
+
+        Pass 2 runs only if anything was deported: it drops every
+        surviving memo entry whose target left the ring — without this
+        the entries would pin the deported payloads live (the gauge
+        would fall but the heap would not) — and clears the surviving
+        reference bits, opening the next epoch.  No mark-and-sweep
+        reachability walk is needed: deportation is explicit, so "gone"
+        is exactly the deported set."""
+        keep = {id(root) for root in roots if root is not None}
+        removed_ids: set[int] = set()
+        dropped = 0
+        for ring_is_bottom in (True, False):
+            if self.resident_bytes <= low:
+                break
+            table = self._bottom if ring_is_bottom else self._top
+            cost = _bottom_cost if ring_is_bottom else _top_cost
+            hand = bottom_hand if ring_is_bottom else top_hand
+            states = list(table.values())
+            count = len(states)
+            start = 0
+            for i, state in enumerate(states):  # uids are in insertion order
+                if state.uid > hand:
+                    start = i
+                    break
+            for i in range(count):
+                if self.resident_bytes <= low:
+                    break
+                state = states[(start + i) % count]
+                hand = state.uid
+                if state.ref or id(state) in keep:
+                    continue
+                dropped += self.evict_state_tables(state)
+                del table[state.mask if state.mask is not None else state.sids]
+                self.resident_bytes -= cost(state)
+                if ring_is_bottom:
+                    self.bottom_size_total -= state.size
+                removed_ids.add(id(state))
+            if ring_is_bottom:
+                bottom_hand = hand
+            else:
+                top_hand = hand
+        for state in self._bottom.values():
+            if removed_ids:
+                dropped += self.prune_removed_entries(state, removed_ids)
+            state.ref = False
+        for state in self._top.values():
+            if removed_ids:
+                dropped += self.prune_removed_entries(state, removed_ids)
+            state.ref = False
+        return dropped, len(removed_ids), bottom_hand, top_hand
+
+    def collect_garbage(self, roots: Iterable) -> int:
+        """Mark-and-sweep over the intern tables: drop every state not
+        reachable from *roots* through the surviving memo entries.
+        Returns the number of states removed.  Memo entries keyed on a
+        removed state's uid stay behind harmlessly — uids are never
+        reused, so they can only go cold and be evicted later."""
+        marked: set[int] = set()
+        stack = [root for root in roots if root is not None]
+        while stack:
+            state = stack.pop()
+            ident = id(state)
+            if ident in marked:
+                continue
+            marked.add(ident)
+            if isinstance(state, XPushState):
+                for target, _notified in state.pop_table.values():
+                    stack.append(target)
+                stack.extend(state.add_table.values())
+            else:
+                stack.extend(state.push_table.values())
+                stack.extend(state.value_table.values())
+        removed = 0
+        for key, state in list(self._bottom.items()):
+            if id(state) not in marked:
+                self.evict_state_tables(state)
+                del self._bottom[key]
+                self.resident_bytes -= _bottom_cost(state)
+                self.bottom_size_total -= state.size
+                removed += 1
+        for key, state in list(self._top.items()):
+            if id(state) not in marked:
+                self.evict_state_tables(state)
+                del self._top[key]
+                self.resident_bytes -= _top_cost(state)
+                removed += 1
+        return removed
+
+    def recount(self) -> tuple[int, int]:
+        """(table_entries, resident_bytes) recomputed from scratch — the
+        invariant the incremental bookkeeping must match (tests)."""
+        entries = 0
+        bytes_ = 0
+        for state in self._bottom.values():
+            entries += len(state.pop_table) + len(state.add_table)
+            bytes_ += _bottom_cost(state)
+        for state in self._top.values():
+            entries += len(state.push_table) + len(state.value_table)
+            bytes_ += _top_cost(state)
+        return entries, bytes_ + entries * ENTRY_BYTES
 
     # -- bottom-up -------------------------------------------------------
 
@@ -177,9 +432,15 @@ class StateStore:
         state = self._bottom.get(key)
         if state is None:
             contains_terminal = any(sid in self._terminal_sids for sid in key)
-            state = XPushState(len(self._bottom), key, self._accepts_of(key), contains_terminal)
+            state = XPushState(
+                self._next_bottom_uid, key, self._accepts_of(key), contains_terminal
+            )
+            self._next_bottom_uid += 1
             self._bottom[key] = state
             self.bottom_size_total += len(key)
+            self.resident_bytes += _bottom_cost(state)
+        else:
+            state.ref = True
         return state
 
     def intern_bottom_mask(self, mask: int) -> XPushState:
@@ -189,13 +450,17 @@ class StateStore:
         if state is None:
             masks = self._masks
             state = XPushState(
-                len(self._bottom),
+                self._next_bottom_uid,
                 accepts=masks.accepted_oids(mask),
                 contains_terminal=bool(mask & masks.terminal_mask),
                 mask=mask,
             )
+            self._next_bottom_uid += 1
             self._bottom[mask] = state
             self.bottom_size_total += state.size
+            self.resident_bytes += _bottom_cost(state)
+        else:
+            state.ref = True
         return state
 
     @property
@@ -217,20 +482,31 @@ class StateStore:
     def intern_top(self, sids: frozenset[int] | None) -> XPushTopState:
         state = self._top.get(sids)
         if state is None:
-            state = XPushTopState(len(self._top), sids)
+            state = XPushTopState(self._next_top_uid, sids)
+            self._next_top_uid += 1
             self._top[sids] = state
+            self.resident_bytes += _top_cost(state)
+        else:
+            state.ref = True
         return state
 
     def intern_top_mask(self, mask: int) -> XPushTopState:
         state = self._top.get(mask)
         if state is None:
-            state = XPushTopState(len(self._top), mask=mask)
+            state = XPushTopState(self._next_top_uid, mask=mask)
+            self._next_top_uid += 1
             self._top[mask] = state
+            self.resident_bytes += _top_cost(state)
+        else:
+            state.ref = True
         return state
 
     @property
     def top_count(self) -> int:
         return len(self._top)
+
+    def top_states(self) -> list[XPushTopState]:
+        return list(self._top.values())
 
     def reset(self) -> None:
         """Drop every state and table — the paper's "brute force" update
@@ -238,6 +514,8 @@ class StateStore:
         self._bottom.clear()
         self._top.clear()
         self.bottom_size_total = 0
+        self.resident_bytes = 0
+        self.table_entries = 0
         self.empty = (
             self.intern_bottom_mask(0)
             if self._masks is not None

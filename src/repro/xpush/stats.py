@@ -4,17 +4,25 @@ paper's evaluation (Sec. 7).
 - state counts and average state size → Figs. 6, 7, 10, 11;
 - table lookups vs hits ("One can think of the XPush machine as a
   cache") → the hit ratio of Fig. 8;
-- events and bytes processed → throughput (the abstract's MB/s claim).
+- events and bytes processed → throughput (the abstract's MB/s claim);
+- flushes / evictions / GC'd states and the resident-memory gauges →
+  the Sec. 6 memory manager (bounded-memory infinite streams).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 
 @dataclass
 class MachineStats:
-    """Mutable counters updated on the machine's hot path."""
+    """Mutable counters updated on the machine's hot path.
+
+    ``resident_bytes`` and ``table_entries`` are *gauges* mirrored from
+    the machine's :class:`~repro.xpush.state.StateStore` at every
+    document boundary (the other fields are cumulative counters).
+    """
 
     events: int = 0
     documents: int = 0
@@ -25,7 +33,11 @@ class MachineStats:
     add_computed: int = 0
     value_computed: int = 0
     push_computed: int = 0
-    flushes: int = 0  # table resets triggered by options.max_states
+    flushes: int = 0  # full table resets (max_states / eviction="flush")
+    evictions: int = 0  # memo entries dropped by the clock sweep
+    gc_states: int = 0  # states garbage-collected after eviction
+    resident_bytes: int = 0  # gauge: estimated bytes of states + tables
+    table_entries: int = 0  # gauge: live memo-table entries
 
     @property
     def hit_ratio(self) -> float:
@@ -33,31 +45,18 @@ class MachineStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> dict:
-        return {
-            "events": self.events,
-            "documents": self.documents,
-            "bytes": self.bytes_processed,
-            "lookups": self.lookups,
-            "hits": self.hits,
-            "hit_ratio": self.hit_ratio,
-            "pop_computed": self.pop_computed,
-            "add_computed": self.add_computed,
-            "value_computed": self.value_computed,
-            "push_computed": self.push_computed,
-            "flushes": self.flushes,
+        out = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
         }
+        out["hit_ratio"] = self.hit_ratio
+        # Historical alias: early consumers read "bytes"; keep it in
+        # step with the attribute's real name.
+        out["bytes"] = self.bytes_processed
+        return out
 
     def reset(self) -> None:
-        for name in (
-            "events",
-            "documents",
-            "bytes_processed",
-            "lookups",
-            "hits",
-            "pop_computed",
-            "add_computed",
-            "value_computed",
-            "push_computed",
-            "flushes",
-        ):
-            setattr(self, name, 0)
+        # Every counter, current and future — a hardcoded list silently
+        # skips fields added later.
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, field.default)
