@@ -17,11 +17,25 @@ Quickstart::
     for matched in machine.filter_stream(xml_packets):
         print(matched)          # e.g. frozenset({'o1', 'o2'}) per document
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-figure-by-figure reproduction record.
+Every engine variant — serial, layered, sharded, the baselines —
+conforms to one :class:`~repro.engine.protocol.FilterEngine` protocol
+and is built from an :class:`~repro.engine.config.EngineConfig`::
+
+    from repro import EngineConfig, create_engine
+
+    engine = create_engine(
+        EngineConfig(engine="sharded", shards=4), {"q0": "//a[b = 1]"}
+    )
+    engine.subscribe("q1", "//c")       # live update, no table flush
+    answers = engine.filter_stream(xml_packets)
+
+See DESIGN.md for the system inventory, docs/architecture.md for the
+engine surface and EXPERIMENTS.md for the figure-by-figure
+reproduction record.
 """
 
 from repro.broker import MessageBroker
+from repro.engine import EngineConfig, FilterEngine, create_engine, engine_names
 from repro.service import ShardedFilterEngine
 from repro.xmlstream.dom import Document, Element, parse_document, parse_forest
 from repro.xmlstream.dtd import DTD
@@ -40,6 +54,8 @@ __all__ = [
     "DTD",
     "Document",
     "Element",
+    "EngineConfig",
+    "FilterEngine",
     "GeneratorConfig",
     "LayeredFilterEngine",
     "MessageBroker",
@@ -47,6 +63,8 @@ __all__ = [
     "ShardedFilterEngine",
     "XPushMachine",
     "XPushOptions",
+    "create_engine",
+    "engine_names",
     "evaluate_filter",
     "iterparse",
     "matching_oids",

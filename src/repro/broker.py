@@ -4,14 +4,23 @@ The motivating application of Sec. 1: a message-oriented middleware
 node where producers publish XML packets and consumers subscribe with
 XPath filters; "the broker's main task is to route the messages from
 producers to the consumers".  Each packet is filtered once by a single
-XPush machine regardless of how many subscriptions exist, and delivered
-to every subscriber whose filter matched.
+filtering engine regardless of how many subscriptions exist, and
+delivered to every subscriber whose filter matched.
 
-Subscription changes use the strategy of Sec. 8: insertions mark the
-machine *stale* and it is rebuilt lazily on the next publish (the
-"brute force" reset — equivalent to flushing a cache); the
-alternative layered-machine scheme the paper sketches is future work
-there and here.
+The broker is a thin routing shell over one
+:class:`~repro.engine.protocol.FilterEngine`, constructed exclusively
+through :func:`~repro.engine.factory.create_engine`; the engine kind
+decides the Sec. 8 update strategy:
+
+- ``"xpush"`` (default) — brute-force: a subscription change marks the
+  machine stale and it is rebuilt lazily on the next publish
+  ("equivalent to flushing an entire cache");
+- ``"layered"`` (``incremental=True``) — a warmed base machine plus a
+  small delta layer; insertions never flush the base tables;
+- ``"sharded"`` (``shards >= 2``) — the scale-out service of
+  ``docs/scaling.md``; subscription changes ride its update control
+  plane as epoch-stamped control messages, so the worker processes
+  (and their warmed tables) survive every change.
 """
 
 from __future__ import annotations
@@ -19,13 +28,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.engine.config import EngineConfig
+from repro.engine.factory import create_engine
+from repro.engine.protocol import FilterEngine
 from repro.errors import WorkloadError
-from repro.xmlstream.dtd import DTD
 from repro.xmlstream.dom import Document
+from repro.xmlstream.dtd import DTD
 from repro.xpath.parser import parse_xpath
-from repro.xpush.machine import XPushMachine
 from repro.xpush.options import XPushOptions
-from repro.afa.build import build_workload_automata
 
 Deliver = Callable[[str, Document], None]
 
@@ -40,7 +50,7 @@ class Subscription:
 
 
 class MessageBroker:
-    """Routes XML packets to subscribers via one shared XPush machine.
+    """Routes XML packets to subscribers via one shared filter engine.
 
     >>> broker = MessageBroker()
     >>> broker.subscribe("alice", "//a[b/text() = 1]")
@@ -63,52 +73,44 @@ class MessageBroker:
         shard_strategy: str = "hash",
         shard_parallel: bool | None = None,
         backend: str = "auto",
+        config: EngineConfig | None = None,
     ):
-        """*incremental* selects the update strategy of Sec. 8: False =
-        brute-force rebuild on change (flush the cache); True = keep a
-        warmed base machine and put new subscriptions in a small delta
-        layer (:class:`repro.xpush.layered.LayeredFilterEngine`).
+        """*incremental* selects the layered engine, *shards* >= 2 the
+        sharded service (worker processes unless *shard_parallel* is
+        False) — see the module docstring for the update semantics of
+        each.  *backend* selects the parser backend of the push-mode
+        event path used when packets arrive as text (``publish_text``)
+        and by shard workers; routing decisions are backend-independent.
 
-        *shards* >= 2 selects the scale-out mode of ``docs/scaling.md``:
-        the workload is partitioned over a
-        :class:`repro.service.ShardedFilterEngine` (one warmed machine
-        per shard, worker processes unless *shard_parallel* is False)
-        and packets are filtered by fan-out/union.  Subscription changes
-        keep the Sec. 8 brute-force contract: the sharded engine is torn
-        down and rebuilt lazily on the next publish.
-
-        *backend* selects the parser backend of the push-mode event
-        path used when packets arrive as text (``publish_text``) and by
-        shard workers (``"python"``, ``"expat"`` or ``"auto"``; see
-        :func:`repro.xmlstream.parser.parse_into`).  Routing decisions
-        are backend-independent — this is a throughput knob only."""
-        if incremental and shards > 1:
-            raise WorkloadError("incremental and sharded modes are mutually exclusive")
-        if shards < 1:
-            raise WorkloadError(f"shards must be >= 1, got {shards}")
-        self.options = options or XPushOptions(top_down=True, precompute_values=False)
-        self.dtd = dtd
-        self.incremental = incremental
-        self.shards = int(shards)
-        self.batch_size = int(batch_size)
-        self.shard_strategy = shard_strategy
-        self.shard_parallel = shard_parallel
-        from repro.xmlstream.parser import resolve_backend
-
-        try:
-            resolve_backend(backend)  # validate eagerly, at construction
-        except ValueError as error:
-            raise WorkloadError(str(error)) from None
-        self.backend = backend
+        Alternatively pass a full :class:`EngineConfig` as *config* —
+        it wins over every other argument and may name any registered
+        engine kind that supports ``subscribe``/``unsubscribe``."""
+        if config is None:
+            if incremental and shards > 1:
+                raise WorkloadError(
+                    "incremental and sharded modes are mutually exclusive"
+                )
+            engine = "layered" if incremental else "sharded" if shards > 1 else "xpush"
+            config = EngineConfig(
+                engine=engine,
+                options=options
+                or XPushOptions(top_down=True, precompute_values=False),
+                dtd=dtd,
+                backend=backend,
+                shards=int(shards),  # EngineConfig rejects shards < 1
+                strategy=shard_strategy,
+                batch_size=int(batch_size),
+                parallel=shard_parallel,
+            )
+        self.config = config
+        self.options = config.options
+        self.dtd = config.dtd
+        self.incremental = config.engine == "layered"
+        self.shards = config.shards
+        self.batch_size = config.batch_size
+        self.backend = config.backend
         self._subscriptions: dict[str, Subscription] = {}
-        self._machine: XPushMachine | None = None
-        self._layered = None
-        self._sharded = None
-        self._worker_restarts = 0
-        if incremental:
-            from repro.xpush.layered import LayeredFilterEngine
-
-            self._layered = LayeredFilterEngine([], self.options, dtd)
+        self._filter_engine: FilterEngine | None = None
         self._counter = 0
         self.on_deliver: Deliver = lambda subscriber, document: None
         self.delivered = 0
@@ -116,84 +118,46 @@ class MessageBroker:
 
     # -- subscription management ----------------------------------------
 
+    def _engine(self) -> FilterEngine:
+        """The live engine; (re)created through the factory on first
+        use and after :meth:`close`, resuming every subscription."""
+        if self._filter_engine is None:
+            self._filter_engine = create_engine(
+                self.config,
+                {oid: sub.xpath for oid, sub in self._subscriptions.items()},
+            )
+        return self._filter_engine
+
     def subscribe(self, subscriber: str, xpath: str) -> str:
         """Register a filter; returns the subscription oid."""
         oid = f"sub{self._counter}"
         self._counter += 1
         parse_xpath(xpath)  # validate eagerly, fail at subscribe time
+        self._engine().subscribe(oid, xpath)
         self._subscriptions[oid] = Subscription(subscriber, xpath, oid)
-        if self._layered is not None:
-            self._layered.insert(oid, xpath)
-        else:
-            self._invalidate()  # rebuild lazily (Sec. 8 brute-force path)
         return oid
 
     def unsubscribe(self, oid: str) -> None:
         if oid not in self._subscriptions:
             raise WorkloadError(f"unknown subscription {oid!r}")
+        self._engine().unsubscribe(oid)
         del self._subscriptions[oid]
-        if self._layered is not None:
-            self._layered.remove(oid)
-        else:
-            self._invalidate()
-
-    def _invalidate(self) -> None:
-        self._machine = None
-        if self._sharded is not None:
-            self._worker_restarts += self._sharded.worker_restarts
-            self._sharded.close()
-            self._sharded = None
 
     @property
     def subscription_count(self) -> int:
         return len(self._subscriptions)
 
-    def _engine(self) -> XPushMachine:
-        if self._machine is None:
-            from dataclasses import replace
-
-            filters = [
-                parse_xpath(sub.xpath, oid) for oid, sub in self._subscriptions.items()
-            ]
-            # The broker delivers each packet's matches immediately; a
-            # machine retaining its own results list would grow without
-            # bound across an unbounded publish stream.
-            self._machine = XPushMachine(
-                build_workload_automata(filters),
-                replace(self.options, retain_results=False),
-                dtd=self.dtd,
-            )
-        return self._machine
-
-    def _sharded_engine(self):
-        if self._sharded is None:
-            from repro.service.engine import ShardedFilterEngine
-
-            filters = [
-                parse_xpath(sub.xpath, oid) for oid, sub in self._subscriptions.items()
-            ]
-            self._sharded = ShardedFilterEngine(
-                filters,
-                self.shards,
-                options=self.options,
-                dtd=self.dtd,
-                strategy=self.shard_strategy,
-                batch_size=self.batch_size,
-                parallel=self.shard_parallel,
-                backend=self.backend,
-            )
-        return self._sharded
-
     # -- publishing -------------------------------------------------------
 
     def _matched_sets(self, documents: list[Document]) -> list[frozenset[str]]:
-        """One oid-set per document, via whichever engine mode is active."""
-        if self._layered is not None:
-            return [self._layered.filter_document(doc) for doc in documents]
-        if self.shards > 1:
-            return self._sharded_engine().filter_batch(documents)
-        machine = self._engine()
-        return [machine.filter_document(doc) for doc in documents]
+        """One oid-set per document.  The sharded engine filters the
+        whole batch in one pipelined fan-out; in-process engines go
+        document by document."""
+        engine = self._engine()
+        filter_batch = getattr(engine, "filter_batch", None)
+        if filter_batch is not None:
+            return filter_batch(documents)
+        return [engine.filter_document(doc) for doc in documents]
 
     def publish(self, document: Document) -> int:
         """Route one packet; returns the number of deliveries."""
@@ -238,43 +202,37 @@ class MessageBroker:
             "delivered": self.delivered,
             "backend": self.backend,
             "runtime": self.options.runtime,
+            "engine": self.config.engine,
         }
-        if self._layered is not None:
-            layered = self._layered.stats()
-            out["xpush_states"] = layered["base_states"] + layered["delta_states"]
-            out["hit_ratio"] = 0.0
-            out["layered"] = layered
-        elif self.shards > 1:
-            out["worker_restarts"] = self._worker_restarts
-            if self._sharded is not None:
-                sharded = self._sharded.stats()
-                out["sharded"] = sharded
-                out["worker_restarts"] += sharded["worker_restarts"]
-                out["xpush_states"] = sum(
-                    entry["xpush_states"] for entry in sharded["per_shard"]
-                )
-                out["resident_bytes"] = sharded["resident_bytes"]
-                out["evictions"] = sharded["evictions"]
-            else:
-                out["xpush_states"] = 0
-                out["resident_bytes"] = 0
-                out["evictions"] = 0
+        engine_stats = (
+            self._filter_engine.stats() if self._filter_engine is not None else {}
+        )
+        if self.config.engine == "layered":
+            out["layered"] = engine_stats
+            out["xpush_states"] = engine_stats.get("xpush_states", 0)
+            out["hit_ratio"] = engine_stats.get("hit_ratio", 0.0)
+        elif self.config.engine == "sharded":
+            out["sharded"] = engine_stats
+            out["worker_restarts"] = engine_stats.get("worker_restarts", 0)
+            out["xpush_states"] = engine_stats.get("xpush_states", 0)
+            out["resident_bytes"] = engine_stats.get("resident_bytes", 0)
+            out["evictions"] = engine_stats.get("evictions", 0)
+            out["epoch"] = engine_stats.get("epoch", 0)
             out["hit_ratio"] = 0.0
         else:
-            machine = self._machine
-            out["xpush_states"] = machine.state_count if machine else 0
-            out["hit_ratio"] = machine.stats.hit_ratio if machine else 0.0
-            out["resident_bytes"] = machine.store.resident_bytes if machine else 0
-            out["evictions"] = machine.stats.evictions if machine else 0
+            out["xpush_states"] = engine_stats.get("xpush_states", 0)
+            out["hit_ratio"] = engine_stats.get("hit_ratio", 0.0)
+            out["resident_bytes"] = engine_stats.get("resident_bytes", 0)
+            out["evictions"] = engine_stats.get("evictions", 0)
         return out
 
     def close(self) -> None:
         """Release resources (shard worker processes); publishing after
-        close lazily rebuilds the engine, so this is safe mid-lifetime."""
-        if self._sharded is not None:
-            self._worker_restarts += self._sharded.worker_restarts
-            self._sharded.close()
-            self._sharded = None
+        close lazily rebuilds the engine from the live subscriptions,
+        so this is safe mid-lifetime."""
+        if self._filter_engine is not None:
+            self._filter_engine.close()
+            self._filter_engine = None
 
     def __enter__(self) -> "MessageBroker":
         return self

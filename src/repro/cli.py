@@ -4,6 +4,11 @@ Commands:
 
 - ``filter`` — evaluate a workload of XPath filters over an XML stream
   (the core use case: one line of oids per document);
+- ``subscribe`` / ``unsubscribe`` / ``compact`` — the update control
+  plane on a persisted engine state file: add or drop filters without
+  recompiling the warmed base workload, and fold the accumulated delta
+  in on demand (Sec. 8); ``filter --state`` then serves the updated
+  workload;
 - ``generate-data`` — emit a synthetic Protein/NASA stream;
 - ``generate-queries`` — emit a synthetic workload for a dataset;
 - ``inspect`` — show how a filter parses and compiles (AST, AFA
@@ -81,6 +86,102 @@ def _read_input(path: str) -> str:
 
 
 # ----------------------------------------------------------------------
+# Engine state files (the persisted update control plane)
+# ----------------------------------------------------------------------
+
+
+def _engine_kind_of(snapshot: dict) -> str:
+    """Which registered engine kind a snapshot file belongs to."""
+    fmt = snapshot.get("format", "")
+    if fmt == "repro-layered-engine":
+        return "layered"
+    if fmt == "repro-sharded-engine":
+        return "sharded"
+    if fmt == "repro-engine-workload":
+        return str(snapshot.get("engine", "xpush"))
+    raise ReproError(f"unrecognised engine state format {fmt!r}")
+
+
+def _load_state(path: str, engine_kind: str | None = None):
+    """An engine restored from *path*, or a fresh empty one when the
+    file does not exist yet (``engine_kind`` picks the kind, default
+    layered — the engine whose updates never flush warmed tables)."""
+    import os
+
+    from repro.engine import EngineConfig, create_engine
+    from repro.xpush.persist import load_engine_snapshot
+
+    if os.path.exists(path):
+        snapshot = load_engine_snapshot(path)
+        kind = _engine_kind_of(snapshot)
+        if engine_kind and engine_kind != kind:
+            raise ReproError(
+                f"{path} holds a {kind!r} engine, not {engine_kind!r}"
+            )
+        # CLI invocations are one-shot: stay in-process even for a
+        # sharded state (answers are mode-independent by contract).
+        return create_engine(EngineConfig(engine=kind, parallel=False), snapshot=snapshot)
+    return create_engine(EngineConfig(engine=engine_kind or "layered", parallel=False))
+
+
+def _save_state(engine, path: str) -> None:
+    from repro.xpush.persist import save_engine_snapshot
+
+    save_engine_snapshot(engine.snapshot(), path)
+
+
+def cmd_subscribe(args) -> int:
+    engine = _load_state(args.state, args.engine)
+    try:
+        engine.subscribe(args.oid, args.xpath)
+        _save_state(engine, args.state)
+        stats = engine.stats()
+    finally:
+        engine.close()
+    print(
+        f"# subscribed {args.oid}, {stats['filters']} filters in {args.state}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_unsubscribe(args) -> int:
+    engine = _load_state(args.state)
+    try:
+        engine.unsubscribe(args.oid)
+        _save_state(engine, args.state)
+        stats = engine.stats()
+    finally:
+        engine.close()
+    print(
+        f"# unsubscribed {args.oid}, {stats['filters']} filters in {args.state}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_compact(args) -> int:
+    engine = _load_state(args.state)
+    try:
+        compact = getattr(engine, "compact", None)
+        if compact is None:
+            raise ReproError(
+                f"{args.state}: engine {engine.stats().get('engine')!r} "
+                "has no delta layer to compact"
+            )
+        compact()
+        _save_state(engine, args.state)
+        stats = engine.stats()
+    finally:
+        engine.close()
+    print(
+        f"# compacted {args.state}: {stats['filters']} filters in the base layer",
+        file=sys.stderr,
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
 
@@ -96,10 +197,30 @@ def cmd_filter(args) -> int:
         options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
     if options.order and dtd is None:
         raise ReproError(f"variant {args.variant!r} needs --dtd for the order optimisation")
-    if args.compiled and args.queries:
-        raise ReproError("pass either --queries or --compiled, not both")
+    if sum(bool(source) for source in (args.queries, args.compiled, args.state)) > 1:
+        raise ReproError("pass exactly one of --queries, --compiled or --state")
     if args.shards < 1:
         raise ReproError("--shards must be >= 1")
+    if args.state:
+        text = _read_input(args.input)
+        engine = _load_state(args.state)
+        try:
+            start = time.perf_counter()
+            results = engine.filter_stream(text)
+            elapsed = time.perf_counter() - start
+            stats = engine.stats()
+        finally:
+            engine.close()
+        for i, matched in enumerate(results):
+            print(f"{i}\t{','.join(sorted(matched)) or '-'}")
+        megabytes = len(text.encode("utf-8")) / 1e6
+        print(
+            f"# {len(results)} documents, {stats['filters']} filters, "
+            f"state={args.state} engine={stats.get('engine')}, "
+            f"{elapsed:.3f}s ({megabytes / elapsed if elapsed else 0:.2f} MB/s)",
+            file=sys.stderr,
+        )
+        return 0
     if args.compiled:
         from repro.xpush.persist import load_workload as load_compiled
 
@@ -363,6 +484,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("filter", help="filter an XML stream with a query file")
     p.add_argument("--queries", help="query file (oid<TAB>xpath per line)")
     p.add_argument("--compiled", help="compiled workload (see `compile`) instead of --queries")
+    p.add_argument("--state", help="engine state file maintained by "
+                   "`subscribe`/`unsubscribe`/`compact` instead of --queries")
     p.add_argument("--input", default="-", help="XML stream file, or - for stdin")
     p.add_argument("--variant", default="TD", choices=sorted(VARIANTS))
     p.add_argument("--dtd", help="DTD file (needed for order/training variants)")
@@ -393,6 +516,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", required=True)
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "subscribe",
+        help="add a filter to an engine state file (created if missing)",
+    )
+    p.add_argument("--state", required=True, help="engine state file (JSON)")
+    p.add_argument("--oid", required=True, help="subscription id")
+    p.add_argument("--xpath", required=True, help="the XPath filter")
+    p.add_argument("--engine", choices=["layered", "xpush", "sharded"],
+                   help="engine kind when creating a new state file "
+                        "(default layered: updates keep the warmed base)")
+    p.set_defaults(func=cmd_subscribe)
+
+    p = sub.add_parser("unsubscribe", help="drop a filter from an engine state file")
+    p.add_argument("--state", required=True, help="engine state file (JSON)")
+    p.add_argument("--oid", required=True, help="subscription id to drop")
+    p.set_defaults(func=cmd_unsubscribe)
+
+    p = sub.add_parser(
+        "compact",
+        help="fold an engine state file's delta and tombstones into its base",
+    )
+    p.add_argument("--state", required=True, help="engine state file (JSON)")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("analyze", help="profile a workload's sharing structure")
     p.add_argument("--queries", required=True)

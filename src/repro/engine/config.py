@@ -1,0 +1,127 @@
+""":class:`EngineConfig` — every engine knob, in one place.
+
+Before this module existed each engine surface re-declared its own
+slice of the configuration space (machine options on
+:class:`~repro.xpush.options.XPushOptions`, backend strings on the
+parser entry points, shard/batch/queue knobs on the service, the
+compaction threshold on the layered engine) and every composite had to
+hand-thread each knob through its constructor.  ``EngineConfig``
+subsumes all of them: it *contains* the machine-level
+:class:`~repro.xpush.options.XPushOptions` (runtime, eviction,
+``max_memory_bytes``, ``retain_results``, the Sec. 5 optimisation
+flags) and adds the engine-level knobs around it.  A config plus a
+workload is everything :func:`repro.engine.create_engine` needs.
+
+Configs are frozen, picklable (they cross the process boundary inside
+shard-worker payloads) and validated eagerly at construction, so a bad
+knob fails where it was written, not in a worker process later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import WorkloadError
+from repro.xmlstream.dtd import DTD
+from repro.xpush.options import XPushOptions
+
+#: Engine kinds :func:`repro.engine.create_engine` builds by default.
+#: (The registry is open — see :func:`repro.engine.register_engine`.)
+KNOWN_ENGINES = ("xpush", "layered", "sharded", "eager", "naive", "yfilter", "xfilter")
+
+#: Parser backends of the push-mode event path (repro.xmlstream.parser).
+BACKENDS = ("python", "expat", "auto")
+
+
+def _default_options() -> XPushOptions:
+    """The library-wide default machine variant (TD, as the service
+    always defaulted to: top-down pruning, no value precomputation)."""
+    return XPushOptions(top_down=True, precompute_values=False)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Consolidated configuration for any :class:`FilterEngine`.
+
+    Attributes:
+        engine: registry name of the engine to build (``"xpush"``,
+            ``"layered"``, ``"sharded"``, ``"eager"``, or a baseline).
+        options: the machine-level :class:`XPushOptions` (Sec. 5
+            optimisation flags, runtime representation, memory bound and
+            eviction policy, ``retain_results``).  Engines that manage
+            result lifetimes themselves (layered, sharded, broker) force
+            ``retain_results=False`` on their inner machines regardless.
+        dtd: optional DTD (order optimisation / training).
+        backend: parser backend for the push-mode event path.
+        compact_threshold: layered engines fold their delta into the
+            base after this many uncompacted insertions (Sec. 8's
+            amortised brute-force reset).
+        shards: shard count for the sharded service (>= 1).
+        inner: engine kind the sharded service hosts per shard — any
+            registry name whose engine supports updates; ``"layered"``
+            keeps insertions from flushing the warmed base tables.
+        strategy: initial workload partitioning strategy
+            (:data:`repro.service.PARTITION_STRATEGIES`).
+        batch_size: documents per work item fanned out to the shards.
+        queue_depth: max in-flight work items (backpressure bound).
+        parallel: force worker processes on (True), off (False) or
+            auto (None = processes when ``shards > 1``).
+        warm: warm each shard machine via ``warm_up()`` at boot.
+        training_seed: seed for the warm-up document generator.
+        result_timeout: seconds of no shard progress before a batch is
+            declared stuck.
+        start_method: multiprocessing start method override.
+        eager_max_states: state budget for the eager Sec. 3.2
+            construction (it is exponential in the worst case).
+    """
+
+    engine: str = "xpush"
+    options: XPushOptions = field(default_factory=_default_options)
+    dtd: DTD | None = None
+    backend: str = "auto"
+    compact_threshold: int = 64
+    shards: int = 1
+    inner: str = "layered"
+    strategy: str = "hash"
+    batch_size: int = 16
+    queue_depth: int = 4
+    parallel: bool | None = None
+    warm: bool = True
+    training_seed: int = 0
+    result_timeout: float = 60.0
+    start_method: str | None = None
+    eager_max_states: int = 50_000
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.options, XPushOptions):
+            raise WorkloadError(
+                f"options must be XPushOptions, got {type(self.options).__name__}"
+            )
+        if self.backend not in BACKENDS:
+            raise WorkloadError(
+                f"unknown parser backend {self.backend!r}; known: {sorted(BACKENDS)}"
+            )
+        if self.compact_threshold < 1:
+            raise WorkloadError(
+                f"compact_threshold must be >= 1, got {self.compact_threshold}"
+            )
+        if self.shards < 1:
+            raise WorkloadError(f"shards must be >= 1, got {self.shards}")
+        if self.batch_size < 1:
+            raise WorkloadError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.queue_depth < 1:
+            raise WorkloadError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.engine == "sharded" and self.inner == "sharded":
+            raise WorkloadError("sharded engines cannot nest sharded inner engines")
+
+    def with_engine(self, engine: str, **overrides: Any) -> "EngineConfig":
+        """A copy selecting a different engine kind (plus overrides) —
+        how composites derive their inner-engine config."""
+        return replace(self, engine=engine, **overrides)
+
+    def describe(self) -> str:
+        parts = [self.engine, self.options.describe()]
+        if self.engine == "sharded":
+            parts.append(f"{self.shards}x{self.inner}")
+        return ":".join(parts)

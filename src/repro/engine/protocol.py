@@ -1,0 +1,105 @@
+"""The :class:`FilterEngine` protocol — one surface for every engine.
+
+Every filtering engine in the library (the lazy XPush machine, the
+eager Sec. 3.2 machine, the Sec. 8 layered engine, the sharded
+multi-process service and the three related-work baselines) answers
+the same question — *which subscriptions match this document?* — yet
+each grew its own ad-hoc surface.  This protocol names the shared
+contract once, so composites (:class:`repro.service.ShardedFilterEngine`,
+:class:`repro.broker.MessageBroker`) can wrap *any* engine and the
+per-engine knobs live in one :class:`repro.engine.config.EngineConfig`.
+
+The contract, in paper terms:
+
+- **workload updates are first-class** (Sec. 8): ``subscribe`` /
+  ``unsubscribe`` change the live workload.  How cheap that is differs
+  per engine — layered insertion touches only a small delta machine,
+  the serial machines fall back to the brute-force rebuild ("flushing
+  an entire cache") — but the *semantics* are identical: after the
+  call returns, filtering reflects the new workload;
+- **filtering** over the three source granularities the library
+  supports: an in-memory :class:`~repro.xmlstream.dom.Document`, a
+  stream of SAX :class:`~repro.xmlstream.events.Event` values, or raw
+  XML text/bytes/file (the push-mode fast path);
+- **persistence**: ``snapshot()`` captures the current workload as a
+  JSON-safe dict and ``restore()`` resumes from one — including any
+  uncompacted layered delta and tombstones, so a restarted worker
+  carries on from the exact workload version it crashed at;
+- **observability and lifecycle**: ``stats()`` and ``close()``.
+
+The protocol is ``runtime_checkable`` so tests can assert conformance
+with ``isinstance``; the typed contract is enforced by the strict
+``mypy`` pass over this package in CI.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Any, Iterable, Protocol, Union, runtime_checkable
+
+from repro.xmlstream.dom import Document
+from repro.xmlstream.events import Event
+
+#: Anything the push-mode parser accepts: XML text, UTF-8 bytes, or a
+#: file-like object open in text or binary mode.
+StreamSource = Union[str, bytes, IO[str], IO[bytes]]
+
+
+@runtime_checkable
+class FilterEngine(Protocol):
+    """A filtering engine over a mutable workload of XPath filters."""
+
+    # -- workload control plane ----------------------------------------
+
+    def subscribe(self, oid: str, xpath: str) -> None:
+        """Add filter *xpath* under *oid*; raises
+        :class:`~repro.errors.WorkloadError` if *oid* is already live
+        and :class:`~repro.errors.XPathSyntaxError` on a bad filter.
+        The update is visible to every later ``filter_*`` call."""
+        ...
+
+    def unsubscribe(self, oid: str) -> None:
+        """Remove the filter under *oid*; raises
+        :class:`~repro.errors.WorkloadError` if *oid* is not live."""
+        ...
+
+    @property
+    def filter_count(self) -> int:
+        """Number of currently live filters."""
+        ...
+
+    # -- filtering -----------------------------------------------------
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        """Oids of the live filters matching one in-memory document."""
+        ...
+
+    def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
+        """Filter a SAX event stream; one oid-set per document."""
+        ...
+
+    def filter_stream(self, source: StreamSource) -> list[frozenset[str]]:
+        """Parse and filter (possibly multi-document) XML text."""
+        ...
+
+    # -- persistence ---------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe capture of the current workload (including any
+        pending layered delta/tombstones, where the engine has them)."""
+        ...
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Replace the current workload with a ``snapshot()`` capture."""
+        ...
+
+    # -- observability and lifecycle -----------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Engine counters; every engine includes at least ``engine``
+        (its registry name) and ``filters`` (the live filter count)."""
+        ...
+
+    def close(self) -> None:
+        """Release resources (worker processes, queues).  Idempotent;
+        filtering after close is engine-defined (composites raise)."""
+        ...

@@ -5,12 +5,16 @@ into N shards; every document batch fans out to all shards and the
 per-shard oid sets are unioned, so the engine's answers are exactly
 the serial machine's answers regardless of N or strategy.
 
-Mechanics:
+Each shard hosts an inner :class:`~repro.engine.protocol.FilterEngine`
+built exclusively through :func:`~repro.engine.factory.create_engine`
+(``config.inner`` names the kind; the default ``"layered"`` gives every
+shard the Sec. 8 base + delta machine, so updates never flush a warmed
+base table).  Mechanics:
 
-- shards are compiled once in the parent and shipped to worker
-  processes as :mod:`repro.xpush.persist` snapshots (no re-parsing or
-  re-compiling in workers); workers warm their machines before
-  reporting ready;
+- shard workloads are compiled once in the parent and shipped to
+  worker processes inside the inner engine's own ``snapshot()``
+  payload (no AFA re-compiling in workers); workers warm their
+  machines before reporting ready;
 - each worker has a *bounded* task queue, and the parent additionally
   caps the number of in-flight batches at ``queue_depth`` — the
   backpressure that keeps an unbounded publisher from ballooning
@@ -22,33 +26,69 @@ Mechanics:
   the event.  Duplicate answers from the pre-crash incarnation are
   discarded idempotently;
 - ``shards == 1``, ``parallel=False`` or an unusable
-  ``multiprocessing`` all degrade to an in-process serial engine with
+  ``multiprocessing`` all degrade to in-process inner engines with
   the same API and the same answers (``stats()["serial_fallback"]``).
+
+**Update control plane.**  ``subscribe``/``unsubscribe``/``compact``
+are first-class while the engine serves traffic:
+
+- every update bumps the engine *epoch* and is eagerly validated in
+  the parent (bad XPath or duplicate oid never reaches a worker);
+- new oids route to a shard by consistent hash
+  (:func:`~repro.service.partition.shard_of_oid`), so routing is
+  reproducible across restarts; oids from the initial partition keep
+  the shard the strategy gave them, remembered in a routing map;
+- in parallel mode the update is *folded into the target worker's
+  boot payload first*, then sent as an epoch-stamped control message
+  on the same FIFO task queue as batches.  FIFO ordering makes the
+  update visible to exactly the batches submitted after it; payload
+  folding makes crashes safe without replay — a restarted worker
+  boots the updated workload while the stale queue dies with the old
+  process, so updates are applied exactly once;
+- batch replies carry the worker's ``applied_epoch``, so answers are
+  attributable to a workload version; batches resubmitted after a
+  crash are re-answered at the *current* epoch (that attribution is
+  what the tags are for);
+- ``compact()`` broadcasts to every shard and folds the payloads the
+  expensive way (recompile base from sources) — the paper's
+  brute-force reset, amortised to once per epoch of updates.
 """
 
 from __future__ import annotations
 
 import queue as queue_module
 import time
-from typing import Iterable, Sequence
+from dataclasses import replace
+from typing import IO, Any, Iterable, Sequence, Union
 
+from repro.engine.config import EngineConfig
 from repro.errors import ReproError, WorkloadError
 from repro.service.latency import LatencyTracker
-from repro.service.partition import partition_filters
-from repro.xmlstream.dom import Document, parse_forest
+from repro.service.partition import partition_filters, shard_of_oid
+from repro.xmlstream.dom import Document, documents_of_events, parse_forest
 from repro.xmlstream.dtd import DTD
+from repro.xmlstream.events import EndDocument, Event
 from repro.xmlstream.writer import document_to_xml
 from repro.xpath.ast import XPathFilter
-from repro.xpath.parser import parse_workload
+from repro.xpath.parser import parse_workload, parse_xpath
 from repro.xpush.options import XPushOptions
+
+LAYERED_FORMAT = "repro-layered-engine"
+
+#: ``snapshot()`` format tag of the sharded engine itself.
+SNAPSHOT_FORMAT = "repro-sharded-engine"
+SNAPSHOT_VERSION = 1
 
 
 class ServiceError(ReproError):
     """Raised when the sharded service cannot complete a batch."""
 
 
-#: First idle-poll timeout of a collect call; doubles per empty wakeup.
-IDLE_POLL_START = 0.05
+#: First idle-poll sleep of a collect call; doubles per empty sweep.
+#: Small, because the sweep over per-worker result queues cannot block:
+#: a short first sleep keeps collect latency near the blocking-get
+#: behaviour when answers are milliseconds away.
+IDLE_POLL_START = 0.001
 
 #: Idle-poll ceiling — bounds how long a dead worker can go undetected
 #: (liveness checks run on every wakeup).
@@ -57,15 +97,11 @@ IDLE_POLL_CAP = 1.0
 
 def _poll_timeout(wakeups: int, remaining: float) -> float:
     """Exponential idle backoff, capped by the liveness ceiling and the
-    remaining no-progress budget: an idle engine blocks instead of
-    spinning at 20 Hz, but still wakes often enough to respawn dead
-    workers and raises exactly at the deadline."""
+    remaining no-progress budget: a waiting engine backs off instead of
+    spinning, but still wakes often enough to respawn dead workers and
+    raises exactly at the deadline."""
     backoff = IDLE_POLL_START * (1 << min(wakeups, 10))
     return max(0.0, min(backoff, IDLE_POLL_CAP, remaining))
-
-
-def _default_options() -> XPushOptions:
-    return XPushOptions(top_down=True, precompute_values=False)
 
 
 def _mp_context(start_method: str | None):
@@ -96,12 +132,13 @@ def _picklable(value) -> bool:
 class _WorkerHandle:
     """Parent-side bookkeeping for one shard's worker process."""
 
-    __slots__ = ("shard_id", "process", "tasks", "pending", "info")
+    __slots__ = ("shard_id", "process", "tasks", "results", "pending", "info")
 
     def __init__(self, shard_id: int):
         self.shard_id = shard_id
         self.process = None
         self.tasks = None
+        self.results = None
         self.pending: dict[int, list[str]] = {}  # batch_id -> texts
         self.info: dict = {}
 
@@ -113,10 +150,17 @@ class _WorkerHandle:
 class ShardedFilterEngine:
     """Filter document batches against a workload split over N shards.
 
+    Configure either through a consolidated
+    :class:`~repro.engine.config.EngineConfig` (``config=``, the
+    :func:`~repro.engine.factory.create_engine` path) or through the
+    historical keyword arguments; ``config`` wins when both are given.
+
     Args:
         filters: the workload (``XPathFilter`` list, or oid→xpath
             mapping / list of sources as accepted by ``parse_workload``).
         shards: number of shards (1 = serial, no processes).
+        config: consolidated engine configuration (subsumes every
+            keyword below plus ``inner`` and ``compact_threshold``).
         options: machine options, shared by every shard.
         dtd: optional DTD (order optimisation / training).
         strategy: partitioning strategy (:data:`PARTITION_STRATEGIES`).
@@ -134,11 +178,14 @@ class ShardedFilterEngine:
             backend-independent — this is a throughput knob only.
     """
 
+    name = "sharded"
+
     def __init__(
         self,
         filters: Sequence[XPathFilter] | dict[str, str] | list[str],
         shards: int = 2,
         *,
+        config: EngineConfig | None = None,
         options: XPushOptions | None = None,
         dtd: DTD | None = None,
         strategy: str = "hash",
@@ -151,47 +198,39 @@ class ShardedFilterEngine:
         start_method: str | None = None,
         backend: str = "auto",
     ):
-        from repro.xmlstream.parser import resolve_backend
+        if config is None:
+            config = EngineConfig(
+                engine="sharded",
+                options=options
+                or XPushOptions(top_down=True, precompute_values=False),
+                dtd=dtd,
+                backend=backend,
+                shards=int(shards),
+                strategy=strategy,
+                batch_size=int(batch_size),
+                queue_depth=int(queue_depth),
+                parallel=parallel,
+                warm=warm,
+                training_seed=training_seed,
+                result_timeout=float(result_timeout),
+                start_method=start_method,
+            )
+        self.config = config
+        self.shards = config.shards
+        self.inner = config.inner
+        self.options = config.options
+        self.dtd = config.dtd
+        self.strategy = config.strategy
+        self.batch_size = config.batch_size
+        self.queue_depth = config.queue_depth
+        self.warm = config.warm
+        self.training_seed = config.training_seed
+        self.result_timeout = config.result_timeout
+        self.backend = config.backend
 
-        try:
-            resolve_backend(backend)  # validate eagerly, fail at build time
-        except ValueError as error:
-            raise WorkloadError(str(error)) from None
-        if batch_size < 1:
-            raise WorkloadError(f"batch_size must be >= 1, got {batch_size}")
-        if queue_depth < 1:
-            raise WorkloadError(f"queue_depth must be >= 1, got {queue_depth}")
         if filters and not isinstance(next(iter(filters)), XPathFilter):
             filters = parse_workload(filters)  # type: ignore[arg-type]
         self.filters = list(filters)  # type: ignore[arg-type]
-        self.shards = int(shards)
-        self.options = options or _default_options()
-        self.dtd = dtd
-        self.strategy = strategy
-        self.batch_size = int(batch_size)
-        self.queue_depth = int(queue_depth)
-        self.warm = warm
-        self.training_seed = training_seed
-        self.result_timeout = float(result_timeout)
-        self.backend = backend
-
-        self._shard_filters = partition_filters(self.filters, self.shards, strategy)
-        self._active = [i for i, fs in enumerate(self._shard_filters) if fs]
-
-        self._ctx = None
-        if parallel is None:
-            parallel = self.shards > 1
-        if parallel and self.shards > 1 and self._active:
-            self._ctx = _mp_context(start_method)
-        self.parallel = self._ctx is not None
-
-        self._workloads: dict[int, object] = {}
-        for shard_id in self._active:
-            from repro.afa.build import build_workload_automata
-
-            self._workloads[shard_id] = build_workload_automata(
-                self._shard_filters[shard_id]
-            )
 
         self.documents = 0
         self.batches = 0
@@ -199,16 +238,31 @@ class ShardedFilterEngine:
         self.idle_wakeups = 0
         self.latency = LatencyTracker()
         self._batch_counter = 0
+        self._epoch = 0
         self._closed = False
-        self._machines: dict[int, object] = {}  # serial fallback
+        self._engines: dict[int, Any] = {}  # serial fallback, shard -> engine
         self._workers: dict[int, _WorkerHandle] = {}
-        self._results = None
         self._payloads: dict[int, dict] = {}
+        #: oid → owning shard, for every *live* subscription.  Initial
+        #: oids keep the strategy's placement; later ones hash.
+        self._live_oids: dict[str, int] = {}
 
+        self._ctx = None
+        parallel = config.parallel
+        if parallel is None:
+            parallel = self.shards > 1
+        if parallel and self.shards > 1:
+            self._ctx = _mp_context(config.start_method)
+        self.parallel = self._ctx is not None
+
+        shard_filters = partition_filters(self.filters, self.shards, self.strategy)
+        for shard_id, shard in enumerate(shard_filters):
+            for xpath_filter in shard:
+                self._live_oids[xpath_filter.oid] = shard_id
         if self.parallel:
-            self._boot_workers()
+            self._boot_workers(shard_filters)
         else:
-            self._boot_serial()
+            self._boot_serial(shard_filters)
 
     @classmethod
     def from_xpath(cls, sources: dict[str, str] | list[str], shards: int = 2, **kwargs):
@@ -218,27 +272,31 @@ class ShardedFilterEngine:
     # Boot paths
     # ------------------------------------------------------------------
 
-    def _boot_serial(self) -> None:
-        from dataclasses import replace
+    def _inner_config(self, *, dtd: DTD | None, options: XPushOptions) -> EngineConfig:
+        """The per-shard config handed to :func:`create_engine`."""
+        return replace(
+            self.config,
+            engine=self.inner,
+            options=options,
+            dtd=dtd,
+            shards=1,
+            parallel=False,
+        )
 
-        from repro.xpush.machine import XPushMachine
+    def _boot_serial(self, shard_filters: list[list[XPathFilter]]) -> None:
+        from repro.engine.factory import create_engine
 
-        # The engine collects every answer itself; a machine retaining
-        # its own copy would grow without bound on long streams.
-        options = replace(self.options, retain_results=False)
-        for shard_id in self._active:
-            machine = XPushMachine(
-                self._workloads[shard_id], options, dtd=self.dtd
-            )
+        inner_config = self._inner_config(dtd=self.dtd, options=self.options)
+        for shard_id in range(self.shards):
+            engine = create_engine(inner_config, shard_filters[shard_id])
             if self.warm and not self.options.train:
-                machine.warm_up(seed=self.training_seed)
-            self._machines[shard_id] = machine
+                warm_up = getattr(engine, "warm_up", None)
+                if warm_up is not None:
+                    warm_up(seed=self.training_seed)
+            self._engines[shard_id] = engine
 
-    def _boot_workers(self) -> None:
-        from dataclasses import replace
-
+    def _boot_workers(self, shard_filters: list[list[XPathFilter]]) -> None:
         from repro.service.worker import build_payload
-        from repro.xpush.persist import workload_to_json
 
         dtd = self.dtd
         options = self.options
@@ -248,38 +306,72 @@ class ShardedFilterEngine:
             # workers — a performance knob only, answers are unchanged.
             dtd = None
             options = replace(options, order=False, train=False)
-        # Workers report answers over the result queue; retaining them
-        # in the machine too would leak one frozenset per document.
-        options = replace(options, retain_results=False)
-        self._results = self._ctx.Queue()
-        for shard_id in self._active:
+        inner_config = self._inner_config(dtd=dtd, options=options)
+        for shard_id in range(self.shards):
             self._payloads[shard_id] = build_payload(
-                workload_to_json(self._workloads[shard_id]),
-                options,
-                dtd,
+                inner_config,
+                self._shard_snapshot(shard_filters[shard_id]),
                 warm=self.warm,
                 training_seed=self.training_seed,
-                backend=self.backend,
             )
             handle = _WorkerHandle(shard_id)
             self._workers[shard_id] = handle
             self._spawn(handle)
 
+    def _shard_snapshot(self, shard: list[XPathFilter]) -> dict:
+        """One shard's boot snapshot in its inner engine's own format.
+
+        For the layered inner engine the base ships *compiled*
+        (:mod:`repro.xpush.persist` JSON) — AFA compilation happens
+        once, here in the parent.  Other inner kinds ship sources.
+        """
+        if self.inner == "layered":
+            from repro.afa.build import build_workload_automata
+            from repro.xpush.persist import workload_to_json
+
+            return {
+                "format": LAYERED_FORMAT,
+                "version": 1,
+                "base": (
+                    workload_to_json(build_workload_automata(shard)) if shard else None
+                ),
+                "delta": {},
+                "tombstones": [],
+            }
+        from repro.engine.serial import sources_snapshot
+
+        return sources_snapshot(self.inner, {f.oid: f for f in shard})
+
     def _spawn(self, handle: _WorkerHandle) -> None:
         from repro.service.worker import worker_main
 
+        for stale in (handle.tasks, handle.results):
+            if stale is not None:  # free the dead incarnation's pipes
+                try:
+                    stale.close()
+                except (OSError, ValueError):
+                    pass
         # Small slack above queue_depth so a restart can always requeue
         # every pending batch without blocking on its own bound.
         handle.tasks = self._ctx.Queue(maxsize=self.queue_depth + 2)
+        # Per-incarnation result queue: a worker hard-killed while its
+        # feeder thread holds a shared queue's pipe write-lock would
+        # poison every other writer forever, so no queue is ever shared
+        # between workers, and a restart abandons the old incarnation's
+        # queue (late pre-crash answers die with it).
+        handle.results = self._ctx.Queue()
         handle.process = self._ctx.Process(
             target=worker_main,
-            args=(handle.shard_id, self._payloads[handle.shard_id], handle.tasks, self._results),
+            args=(handle.shard_id, self._payloads[handle.shard_id], handle.tasks, handle.results),
             daemon=True,
             name=f"repro-shard-{handle.shard_id}",
         )
         handle.process.start()
 
     def _restart(self, handle: _WorkerHandle) -> None:
+        # The payload was updated at every subscribe/unsubscribe, so the
+        # respawned worker resumes the *current* workload epoch; control
+        # messages lost with the old task queue are already in it.
         self.worker_restarts += 1
         if handle.process is not None:
             handle.process.join(timeout=1.0)
@@ -293,6 +385,117 @@ class ShardedFilterEngine:
                 self._restart(handle)
 
     # ------------------------------------------------------------------
+    # Update control plane
+    # ------------------------------------------------------------------
+
+    @property
+    def filter_count(self) -> int:
+        return len(self._live_oids)
+
+    @property
+    def epoch(self) -> int:
+        """The workload version: bumped by every update."""
+        return self._epoch
+
+    def subscribe(self, oid: str, xpath: str) -> None:
+        """Add a filter while serving.  Validated here, applied on the
+        owning shard without flushing its warmed base tables."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        if oid in self._live_oids:
+            raise WorkloadError(f"oid {oid!r} already subscribed")
+        parse_xpath(xpath, oid)  # eager validation; workers trust the parent
+        shard_id = shard_of_oid(oid, self.shards)
+        self._epoch += 1
+        self._live_oids[oid] = shard_id
+        if self.parallel:
+            self._fold_insert(self._payloads[shard_id], oid, xpath)
+            self._send_control(shard_id, ("subscribe", oid, xpath))
+        else:
+            self._engines[shard_id].subscribe(oid, xpath)
+
+    def unsubscribe(self, oid: str) -> None:
+        """Drop a filter while serving; a tombstone on its shard until
+        the next compaction."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        if oid not in self._live_oids:
+            raise WorkloadError(f"unknown oid {oid!r}")
+        shard_id = self._live_oids.pop(oid)
+        self._epoch += 1
+        if self.parallel:
+            self._fold_remove(self._payloads[shard_id], oid)
+            self._send_control(shard_id, ("unsubscribe", oid))
+        else:
+            self._engines[shard_id].unsubscribe(oid)
+
+    def compact(self) -> None:
+        """Fold every shard's delta and tombstones into a fresh base —
+        the brute-force reset, amortised to once per update epoch."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        self._epoch += 1
+        if self.parallel:
+            for shard_id in range(self.shards):
+                self._fold_compact(self._payloads[shard_id])
+                self._send_control(shard_id, ("compact",))
+        else:
+            for engine in self._engines.values():
+                compact = getattr(engine, "compact", None)
+                if compact is not None:
+                    compact()
+
+    def _send_control(self, shard_id: int, op: tuple) -> None:
+        handle = self._workers[shard_id]
+        # If the worker is dead, _put_task restarts it from the payload
+        # the update was just folded into — the control message itself
+        # is then redundant and deliberately not re-sent.
+        self._put_task(handle, ("control", self._epoch, *op))
+
+    # Payload folding — the crash-recovery half of the control plane.
+    # Each helper mirrors exactly what the live control message does to
+    # the worker's inner engine, expressed on the boot snapshot.
+
+    def _fold_insert(self, payload: dict, oid: str, xpath: str) -> None:
+        snap = payload["snapshot"]
+        if snap.get("format") == LAYERED_FORMAT:
+            snap["tombstones"] = [t for t in snap["tombstones"] if t != oid]
+            snap["delta"][oid] = xpath
+        else:
+            snap["filters"][oid] = xpath
+        payload["epoch"] = self._epoch
+
+    def _fold_remove(self, payload: dict, oid: str) -> None:
+        snap = payload["snapshot"]
+        if snap.get("format") == LAYERED_FORMAT:
+            if oid not in snap["tombstones"]:
+                snap["tombstones"].append(oid)
+        else:
+            snap["filters"].pop(oid, None)
+        payload["epoch"] = self._epoch
+
+    def _fold_compact(self, payload: dict) -> None:
+        snap = payload["snapshot"]
+        if snap.get("format") == LAYERED_FORMAT:
+            from repro.afa.build import build_workload_automata
+            from repro.xpush.persist import workload_to_json
+
+            sources: dict[str, str] = {
+                afa["oid"]: afa["source"]
+                for afa in (snap["base"] or {"afas": []})["afas"]
+            }
+            sources.update(snap["delta"])
+            for oid in snap["tombstones"]:
+                sources.pop(oid, None)
+            filters = [parse_xpath(source, oid) for oid, source in sources.items()]
+            snap["base"] = (
+                workload_to_json(build_workload_automata(filters)) if filters else None
+            )
+            snap["delta"] = {}
+            snap["tombstones"] = []
+        payload["epoch"] = self._epoch
+
+    # ------------------------------------------------------------------
     # Filtering
     # ------------------------------------------------------------------
 
@@ -304,7 +507,9 @@ class ShardedFilterEngine:
         if not docs:
             return []
         self.documents += len(docs)
-        if not self._active:
+        if not self._live_oids:
+            # No live filter can match; tombstoned machines would only
+            # produce answers the merge drops anyway.
             self.batches += 1
             return [frozenset()] * len(docs)
         if not self.parallel:
@@ -317,8 +522,8 @@ class ShardedFilterEngine:
             chunk = docs[offset : offset + self.batch_size]
             started = time.perf_counter()
             for index, doc in enumerate(chunk):
-                for machine in self._machines.values():
-                    merged[offset + index] |= machine.filter_document(doc)
+                for engine in self._engines.values():
+                    merged[offset + index] |= engine.filter_document(doc)
             self.batches += 1
             self.latency.record(time.perf_counter() - started)
         return [frozenset(s) for s in merged]
@@ -369,6 +574,21 @@ class ShardedFilterEngine:
         deadline = time.monotonic() + self.result_timeout
         wakeups = 0
         while True:
+            # Sweep every live worker's own result queue.  Never a
+            # blocking get on a single shared queue: each incarnation
+            # writes to a private queue, so one dying mid-write can
+            # never wedge the others' answers behind a poisoned lock.
+            message = None
+            for handle in self._workers.values():
+                if handle.results is None:
+                    continue
+                try:
+                    message = handle.results.get_nowait()
+                    break
+                except queue_module.Empty:
+                    continue
+            if message is not None:
+                break
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 waiting = {
@@ -378,13 +598,10 @@ class ShardedFilterEngine:
                     f"no shard progress for {self.result_timeout:.0f}s; "
                     f"waiting on {waiting}"
                 ) from None
-            try:
-                message = self._results.get(timeout=_poll_timeout(wakeups, remaining))
-                break
-            except queue_module.Empty:
-                wakeups += 1
-                self.idle_wakeups += 1
-                self._check_workers()
+            wakeups += 1
+            self.idle_wakeups += 1
+            self._check_workers()
+            time.sleep(_poll_timeout(wakeups, remaining))
         kind = message[0]
         if kind == "ready":
             _, shard_id, info = message
@@ -420,9 +637,123 @@ class ShardedFilterEngine:
         """Filter a single document (a batch of one)."""
         return self.filter_batch([document])[0]
 
-    def filter_stream(self, text: str) -> list[frozenset[str]]:
-        """Parse a (possibly multi-document) XML text and filter it."""
-        return self.filter_batch(parse_forest(text, backend=self.backend))
+    def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
+        """Filter a SAX event stream; one oid-set per document.
+
+        Documents are cut at ``EndDocument`` boundaries and fanned out
+        in ``batch_size`` groups, so an unbounded stream is processed
+        with bounded buffering (one batch of documents at a time).
+        """
+        answers: list[frozenset[str]] = []
+        buffer: list[Event] = []
+        docs: list[Document] = []
+        for event in events:
+            buffer.append(event)
+            if isinstance(event, EndDocument):
+                docs.extend(documents_of_events(buffer))
+                buffer = []
+                if len(docs) >= self.batch_size:
+                    answers.extend(self.filter_batch(docs))
+                    docs = []
+        if buffer:
+            docs.extend(documents_of_events(buffer))
+        if docs:
+            answers.extend(self.filter_batch(docs))
+        return answers
+
+    def filter_stream(
+        self, source: Union[str, bytes, IO[str], IO[bytes]]
+    ) -> list[frozenset[str]]:
+        """Parse a (possibly multi-document) XML source and filter it."""
+        if not isinstance(source, (str, bytes)):
+            source = source.read()
+        if isinstance(source, bytes):
+            source = source.decode("utf-8")
+        return self.filter_batch(parse_forest(source, backend=self.backend))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Capture the sharded workload: one inner-engine snapshot per
+        shard plus the routing map and epoch.  In parallel mode this is
+        the parent's folded view — authoritative for workload
+        composition even while workers are mid-update."""
+        if self.parallel:
+            shard_snapshots = [
+                self._payloads[shard_id]["snapshot"] for shard_id in range(self.shards)
+            ]
+        else:
+            shard_snapshots = [
+                self._engines[shard_id].snapshot() for shard_id in range(self.shards)
+            ]
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "shards": self.shards,
+            "inner": self.inner,
+            "strategy": self.strategy,
+            "epoch": self._epoch,
+            "routing": dict(self._live_oids),
+            "shard_snapshots": shard_snapshots,
+        }
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Replace the workload with a :meth:`snapshot` capture; the
+        shard processes are rebooted from the captured shard states."""
+        from repro.engine.factory import create_engine
+        from repro.service.worker import build_payload
+        from repro.xpush.persist import PersistError
+
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise PersistError("not a persisted sharded engine snapshot")
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise PersistError(
+                f"unsupported sharded snapshot version {snapshot.get('version')!r}"
+            )
+        shard_snapshots = snapshot.get("shard_snapshots")
+        if not isinstance(shard_snapshots, list) or len(shard_snapshots) != int(
+            snapshot.get("shards", -1)
+        ):
+            raise PersistError("malformed sharded snapshot: shard_snapshots")
+        self._shutdown_workers()
+        self.shards = int(snapshot["shards"])
+        self.inner = str(snapshot.get("inner", self.inner))
+        self._epoch = int(snapshot.get("epoch", 0))
+        self._live_oids = {
+            str(oid): int(shard) for oid, shard in snapshot.get("routing", {}).items()
+        }
+        if self.parallel:
+            dtd = self.dtd
+            options = self.options
+            if dtd is not None and not _picklable(dtd):
+                dtd = None
+                options = replace(options, order=False, train=False)
+            inner_config = self._inner_config(dtd=dtd, options=options)
+            for shard_id in range(self.shards):
+                payload = build_payload(
+                    inner_config,
+                    shard_snapshots[shard_id],
+                    warm=self.warm,
+                    training_seed=self.training_seed,
+                )
+                payload["epoch"] = self._epoch
+                self._payloads[shard_id] = payload
+                handle = _WorkerHandle(shard_id)
+                self._workers[shard_id] = handle
+                self._spawn(handle)
+        else:
+            inner_config = self._inner_config(dtd=self.dtd, options=self.options)
+            for shard_id in range(self.shards):
+                engine = create_engine(
+                    inner_config, snapshot=shard_snapshots[shard_id]
+                )
+                if self.warm and not self.options.train:
+                    warm_up = getattr(engine, "warm_up", None)
+                    if warm_up is not None:
+                        warm_up(seed=self.training_seed)
+                self._engines[shard_id] = engine
 
     # ------------------------------------------------------------------
     # Test hooks, stats, lifecycle
@@ -435,38 +766,41 @@ class ShardedFilterEngine:
         handle = self._workers[shard_id]
         handle.tasks.put(("crash", exit_code))
 
+    _INFO_KEYS = (
+        ("afa_states", 0),
+        ("xpush_states", 0),
+        ("hit_ratio", 0.0),
+        ("resident_bytes", 0),
+        ("table_entries", 0),
+        ("evictions", 0),
+        ("gc_states", 0),
+        ("flushes", 0),
+        ("base_states", 0),
+        ("delta_states", 0),
+        ("tombstones", 0),
+    )
+
+    def _shard_filter_count(self, shard_id: int) -> int:
+        return sum(1 for shard in self._live_oids.values() if shard == shard_id)
+
     def stats(self) -> dict:
         per_shard = []
-        for shard_id, filters in enumerate(self._shard_filters):
-            entry: dict = {"shard": shard_id, "filters": len(filters)}
-            workload = self._workloads.get(shard_id)
-            entry["afa_states"] = workload.state_count if workload is not None else 0
-            machine = self._machines.get(shard_id)
-            if machine is not None:
-                entry["xpush_states"] = machine.state_count
-                entry["hit_ratio"] = machine.stats.hit_ratio
-                entry["resident_bytes"] = machine.store.resident_bytes
-                entry["table_entries"] = machine.store.table_entries
-                entry["evictions"] = machine.stats.evictions
-                entry["gc_states"] = machine.stats.gc_states
-                entry["flushes"] = machine.stats.flushes
+        for shard_id in range(self.shards):
+            entry: dict = {
+                "shard": shard_id,
+                "filters": self._shard_filter_count(shard_id),
+            }
+            engine = self._engines.get(shard_id)
+            if engine is not None:
+                info = engine.stats()
+                info["applied_epoch"] = self._epoch
             elif shard_id in self._workers:
                 info = self._workers[shard_id].info
-                entry["xpush_states"] = info.get("xpush_states", 0)
-                entry["hit_ratio"] = info.get("hit_ratio", 0.0)
-                entry["resident_bytes"] = info.get("resident_bytes", 0)
-                entry["table_entries"] = info.get("table_entries", 0)
-                entry["evictions"] = info.get("evictions", 0)
-                entry["gc_states"] = info.get("gc_states", 0)
-                entry["flushes"] = info.get("flushes", 0)
             else:
-                entry["xpush_states"] = 0
-                entry["hit_ratio"] = 0.0
-                entry["resident_bytes"] = 0
-                entry["table_entries"] = 0
-                entry["evictions"] = 0
-                entry["gc_states"] = 0
-                entry["flushes"] = 0
+                info = {}
+            for key, default in self._INFO_KEYS:
+                entry[key] = info.get(key, default)
+            entry["applied_epoch"] = info.get("applied_epoch", 0)
             per_shard.append(entry)
         depths = []
         for handle in self._workers.values():
@@ -475,6 +809,10 @@ class ShardedFilterEngine:
             except (NotImplementedError, OSError):
                 depths.append(-1)
         return {
+            "engine": self.name,
+            "filters": self.filter_count,
+            "epoch": self._epoch,
+            "inner": self.inner,
             "shards": self.shards,
             "strategy": self.strategy,
             "backend": self.backend,
@@ -489,16 +827,13 @@ class ShardedFilterEngine:
             "idle_wakeups": self.idle_wakeups,
             "resident_bytes": sum(e["resident_bytes"] for e in per_shard),
             "evictions": sum(e["evictions"] for e in per_shard),
+            "xpush_states": sum(e["xpush_states"] for e in per_shard),
             "queue_depths": depths,
             "per_shard": per_shard,
             "batch_latency": self.latency.snapshot(),
         }
 
-    def close(self) -> None:
-        """Stop all workers; the engine cannot filter afterwards."""
-        if self._closed:
-            return
-        self._closed = True
+    def _shutdown_workers(self) -> None:
         for handle in self._workers.values():
             if handle.process is None:
                 continue
@@ -511,7 +846,18 @@ class ShardedFilterEngine:
                 handle.process.terminate()
                 handle.process.join(timeout=1.0)
         self._workers.clear()
-        self._machines.clear()
+        for engine in self._engines.values():
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+        self._engines.clear()
+
+    def close(self) -> None:
+        """Stop all workers; the engine cannot filter afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown_workers()
 
     def __enter__(self) -> "ShardedFilterEngine":
         return self

@@ -1,12 +1,16 @@
 """Worker-process side of the sharded filtering service.
 
-Each worker owns one shard: it rebuilds the shard's pre-compiled
-workload from a :mod:`repro.xpush.persist` snapshot (so the expensive
-XPath parsing and AFA compilation happened exactly once, in the
-parent), constructs its own :class:`~repro.xpush.machine.XPushMachine`
-and warms it with ``warm_up()`` — the lazy transition tables are
-per-process and training rebuilds them deterministically, which the
-persist-determinism test pins down.
+Each worker owns one shard: it boots an inner
+:class:`~repro.engine.protocol.FilterEngine` through
+:func:`~repro.engine.factory.create_engine` from a picklable payload —
+an :class:`~repro.engine.config.EngineConfig` naming the inner engine
+kind plus that engine's own ``snapshot()`` capture.  For the default
+layered inner engine the snapshot carries the shard's *compiled* base
+workload (:mod:`repro.xpush.persist` JSON), so AFA compilation happened
+exactly once, in the parent; the worker warms its machine with
+``warm_up()`` — the lazy transition tables are per-process and training
+rebuilds them deterministically, which the persist-determinism test
+pins down.
 
 Protocol (plain picklable tuples):
 
@@ -14,79 +18,87 @@ parent → worker, on the shard's task queue:
 
 - ``("batch", batch_id, [xml_text, ...])`` — filter each single-document
   text, reply with one oid-set per text;
+- ``("control", epoch, op, ...)`` — a workload update:
+  ``("control", e, "subscribe", oid, xpath)``,
+  ``("control", e, "unsubscribe", oid)`` or
+  ``("control", e, "compact")``.  Applied in FIFO order with batches,
+  so a batch submitted after an update is always answered under it.
+  No ack is sent — the parent folded the same update into this
+  worker's boot payload before enqueuing it, so a crash between
+  enqueue and apply loses nothing (the restarted worker boots the
+  updated workload and the stale queue dies with the old process);
 - ``("crash", exit_code)`` — die immediately (test hook for the
   crash-recovery path);
 - ``("stop",)`` — drain and exit cleanly.
 
 worker → parent, on the shared result queue:
 
-- ``("ready", shard_id, info)`` — machine built and warmed;
+- ``("ready", shard_id, info)`` — engine built and warmed;
 - ``("batch", shard_id, batch_id, [frozenset, ...], info)``;
-- ``("error", shard_id, batch_id, message)`` — a batch failed (bad
-  document, internal error); the parent raises it.
+- ``("error", shard_id, batch_id, message)`` — a batch or control
+  failed (bad document, internal error); the parent raises it.
 
-``info`` carries the worker's current ``state_count``/``hit_ratio`` so
-the parent's ``stats()`` can report per-shard machine sizes without an
-extra control round-trip.
+``info`` is the inner engine's ``stats()`` plus ``applied_epoch`` — the
+epoch of the last control message this worker applied.  Every batch
+reply is thereby *epoch-tagged*: the parent can attribute each answer
+to a workload version, which matters after a crash, when pending
+batches are resubmitted and re-answered at the *current* epoch rather
+than the one they were first submitted under.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Any
 
 
 def build_payload(
-    workload_json: dict,
-    options,
-    dtd,
+    config,
+    snapshot: dict | None,
     warm: bool = True,
     training_seed: int = 0,
-    backend: str = "auto",
 ) -> dict:
-    """The picklable description of one shard a worker boots from."""
+    """The picklable description of one shard a worker boots from.
+
+    *config* is the inner engine's :class:`EngineConfig`; *snapshot* is
+    that engine's ``snapshot()`` capture (or ``None`` for an engine
+    that starts empty and grows through control messages).
+    """
     return {
-        "workload": workload_json,
-        "options": options,
-        "dtd": dtd,
+        "config": config,
+        "snapshot": snapshot,
         "warm": warm,
         "training_seed": training_seed,
-        "backend": backend,
     }
 
 
-def _build_machine(payload: dict):
-    from repro.xpush.machine import XPushMachine
-    from repro.xpush.persist import workload_from_json
+def _build_engine(payload: dict):
+    from repro.engine.factory import create_engine
 
-    workload = workload_from_json(payload["workload"])
-    machine = XPushMachine(workload, payload["options"], dtd=payload["dtd"])
-    if payload.get("warm", True) and not machine.options.train:
-        machine.warm_up(seed=payload.get("training_seed", 0))
-    return machine
+    config = payload["config"]
+    engine = create_engine(config, snapshot=payload.get("snapshot"))
+    if payload.get("warm", True) and not config.options.train:
+        warm_up = getattr(engine, "warm_up", None)
+        if warm_up is not None:
+            warm_up(seed=payload.get("training_seed", 0))
+    return engine
 
 
-def _machine_info(machine) -> dict:
-    return {
-        "xpush_states": machine.state_count,
-        "afa_states": machine.workload.state_count,
-        "hit_ratio": machine.stats.hit_ratio,
-        "events": machine.stats.events,
-        "resident_bytes": machine.store.resident_bytes,
-        "table_entries": machine.store.table_entries,
-        "evictions": machine.stats.evictions,
-        "gc_states": machine.stats.gc_states,
-        "flushes": machine.stats.flushes,
-    }
+def _engine_info(engine, applied_epoch: int) -> dict[str, Any]:
+    info = dict(engine.stats())
+    info["applied_epoch"] = applied_epoch
+    return info
 
 
 def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
     """Run one shard worker until a ``stop`` task (or a crash hook)."""
     try:
-        machine = _build_machine(payload)
+        engine = _build_engine(payload)
     except Exception as error:  # noqa: BLE001 - forwarded to the parent
         results.put(("error", shard_id, None, f"worker init failed: {error!r}"))
         return
-    results.put(("ready", shard_id, _machine_info(machine)))
+    applied_epoch = payload.get("epoch", 0)
+    results.put(("ready", shard_id, _engine_info(engine, applied_epoch)))
     while True:
         task = tasks.get()
         kind = task[0]
@@ -95,18 +107,39 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
         if kind == "crash":
             # Test hook: simulate a hard worker failure mid-stream.
             os._exit(task[1] if len(task) > 1 else 17)
+        if kind == "control":
+            _, epoch, op = task[:3]
+            try:
+                if op == "subscribe":
+                    engine.subscribe(task[3], task[4])
+                elif op == "unsubscribe":
+                    engine.unsubscribe(task[3])
+                elif op == "compact":
+                    compact = getattr(engine, "compact", None)
+                    if compact is not None:
+                        compact()
+                else:
+                    raise ValueError(f"unknown control op {op!r}")
+                applied_epoch = epoch
+            except Exception as error:  # noqa: BLE001 - forwarded
+                results.put(
+                    ("error", shard_id, None, f"control {op} failed: {error!r}")
+                )
+            continue
         if kind != "batch":
             results.put(("error", shard_id, None, f"unknown task {kind!r}"))
             continue
         _, batch_id, texts = task
-        backend = payload.get("backend", "auto")
         try:
-            # The engine builds the machine with retain_results=False,
-            # so the per-call return is the only copy — nothing to clear.
+            # The inner engine builds its machines with
+            # retain_results=False, so the per-call return is the only
+            # copy — nothing to clear between batches.
             answers = []
             for text in texts:
-                answers.extend(machine.filter_stream(text, backend=backend))
+                answers.extend(engine.filter_stream(text))
         except Exception as error:  # noqa: BLE001 - forwarded to the parent
             results.put(("error", shard_id, batch_id, repr(error)))
             continue
-        results.put(("batch", shard_id, batch_id, answers, _machine_info(machine)))
+        results.put(
+            ("batch", shard_id, batch_id, answers, _engine_info(engine, applied_epoch))
+        )

@@ -22,22 +22,92 @@ base tables are never touched by an insertion.
 
 Deletions are tombstones (dropped from answers immediately); calling
 :meth:`compact` folds the delta and the tombstones into a fresh base
-(the brute-force path, amortised to once per epoch).
+(the brute-force path, amortised to once per epoch).  A *re-inserted*
+oid whose old definition still lives in the base layer is **shadowed**:
+the delta's definition answers for it and the base layer's stale
+matches are suppressed until compaction folds them away.
+
+The engine conforms to the :class:`repro.engine.protocol.FilterEngine`
+protocol: ``subscribe``/``unsubscribe`` alias ``insert``/``remove``,
+``filter_stream`` runs the zero-allocation push-mode event path fanned
+out over both layers in a single pass, and ``snapshot()``/``restore()``
+capture base + delta + tombstones (the base as a compiled
+:mod:`repro.xpush.persist` workload, so a restarted worker resumes the
+updated workload without re-parsing it).
 """
 
 from __future__ import annotations
 
-from typing import IO, Iterable
+from dataclasses import replace
+from typing import IO, Any, Iterable, Mapping, Union
 
 from repro.afa.build import build_workload_automata
 from repro.errors import WorkloadError
 from repro.xmlstream.dtd import DTD
 from repro.xmlstream.dom import Document
-from repro.xmlstream.events import Event, events_of_document
-from repro.xmlstream.parser import iterparse
+from repro.xmlstream.events import Event, EventHandler, dispatch
 from repro.xpath.ast import XPathFilter
 from repro.xpush.machine import XPushMachine
 from repro.xpush.options import XPushOptions
+
+#: ``snapshot()`` format tag (see :mod:`repro.xpush.persist`).
+SNAPSHOT_FORMAT = "repro-layered-engine"
+SNAPSHOT_VERSION = 1
+
+
+class _LayerFanout(EventHandler):
+    """Drives both layer machines from one pass over an event stream.
+
+    The machines' SAX callbacks are invoked directly — no per-layer
+    event buffering, so an unbounded stream is processed in bounded
+    memory (the old implementation materialised ``list(events)``,
+    which defeated the Sec. 6 memory manager).  Layer membership and
+    tombstones are re-read at every document boundary, so updates
+    interleaved with a long stream take effect at the next document.
+    """
+
+    __slots__ = ("engine", "answers", "_base", "_delta")
+
+    def __init__(self, engine: "LayeredFilterEngine"):
+        self.engine = engine
+        self.answers: list[frozenset[str]] = []
+        self._base: XPushMachine | None = None
+        self._delta: XPushMachine | None = None
+
+    def start_document(self) -> None:
+        engine = self.engine
+        self._base = engine._base
+        self._delta = engine._delta
+        if self._base is not None:
+            self._base.start_document()
+        if self._delta is not None:
+            self._delta.start_document()
+
+    def start_element(self, label: str) -> None:
+        if self._base is not None:
+            self._base.start_element(label)
+        if self._delta is not None:
+            self._delta.start_element(label)
+
+    def text(self, value: str) -> None:
+        if self._base is not None:
+            self._base.text(value)
+        if self._delta is not None:
+            self._delta.text(value)
+
+    def end_element(self, label: str) -> None:
+        if self._base is not None:
+            self._base.end_element(label)
+        if self._delta is not None:
+            self._delta.end_element(label)
+
+    def end_document(self) -> None:
+        self.answers.append(
+            self.engine._merge(
+                self._base.end_document() if self._base is not None else frozenset(),
+                self._delta.end_document() if self._delta is not None else frozenset(),
+            )
+        )
 
 
 class LayeredFilterEngine:
@@ -49,15 +119,19 @@ class LayeredFilterEngine:
     ['b']
     """
 
+    name = "layered"
+
     def __init__(
         self,
         filters: list[XPathFilter],
         options: XPushOptions | None = None,
         dtd: DTD | None = None,
         compact_threshold: int = 64,
+        backend: str = "auto",
     ):
         self.options = options or XPushOptions()
         self.dtd = dtd
+        self.backend = backend
         #: Insertions accumulated since the last compaction.
         self.compact_threshold = compact_threshold
         self._base_filters: dict[str, XPathFilter] = {}
@@ -71,6 +145,10 @@ class LayeredFilterEngine:
         self._delta: XPushMachine | None = None
         self.compactions = 0
         self.insertions = 0
+        #: Bytes parsed by :meth:`filter_stream` — counted here because
+        #: the scanner feeds both layers at once, so neither machine
+        #: can claim the stream for itself.
+        self.bytes_processed = 0
 
     @classmethod
     def from_xpath(
@@ -89,14 +167,25 @@ class LayeredFilterEngine:
 
     def insert(self, oid: str, xpath: str) -> None:
         """Add a filter; only the small delta machine is rebuilt, the
-        warmed base machine and all its states survive untouched."""
-        if oid in self._base_filters or oid in self._delta_filters:
-            if oid not in self._tombstones:
-                raise WorkloadError(f"oid {oid!r} already subscribed")
+        warmed base machine and all its states survive untouched.
+
+        Re-inserting a previously removed oid is allowed; if its old
+        definition still sits in the base layer it is *shadowed* — the
+        new delta definition answers alone (never both layers), and
+        ``filter_count`` counts the oid once.
+        """
+        live = (
+            oid in self._base_filters or oid in self._delta_filters
+        ) and oid not in self._tombstones
+        if live:
+            raise WorkloadError(f"oid {oid!r} already subscribed")
         from repro.xpath.parser import parse_xpath
 
+        parsed = parse_xpath(xpath, oid)
         self._tombstones.discard(oid)
-        self._delta_filters[oid] = parse_xpath(xpath, oid)
+        # The delta definition shadows any stale base-layer definition
+        # of the same oid (dict-merge order in compact() agrees).
+        self._delta_filters[oid] = parsed
         self._delta = self._build(list(self._delta_filters.values()))
         self.insertions += 1
         if len(self._delta_filters) >= self.compact_threshold:
@@ -110,6 +199,14 @@ class LayeredFilterEngine:
         if oid in self._tombstones:
             raise WorkloadError(f"oid {oid!r} already removed")
         self._tombstones.add(oid)
+
+    def subscribe(self, oid: str, xpath: str) -> None:
+        """Protocol alias for :meth:`insert`."""
+        self.insert(oid, xpath)
+
+    def unsubscribe(self, oid: str) -> None:
+        """Protocol alias for :meth:`remove`."""
+        self.remove(oid)
 
     def compact(self) -> None:
         """Fold delta and tombstones into a fresh base machine — the
@@ -127,12 +224,13 @@ class LayeredFilterEngine:
     def _build(self, filters: list[XPathFilter]) -> XPushMachine | None:
         if not filters:
             return None
-        from dataclasses import replace
+        return self._machine_of(build_workload_automata(filters))
 
+    def _machine_of(self, workload: Any) -> XPushMachine:
         # Layer answers are merged and returned per call; the layer
         # machines must not retain their own unbounded copies.
         return XPushMachine(
-            build_workload_automata(filters),
+            workload,
             replace(self.options, retain_results=False),
             dtd=self.dtd,
         )
@@ -143,46 +241,170 @@ class LayeredFilterEngine:
 
     @property
     def filter_count(self) -> int:
-        return (
-            len(self._base_filters)
-            + len(self._delta_filters)
-            - len(self._tombstones)
+        # An oid present in both layers (re-inserted while its old base
+        # definition awaits compaction) counts once: union, not sum.
+        return len(self._base_filters.keys() | self._delta_filters.keys()) - len(
+            self._tombstones
         )
 
-    def filter_document(self, document: Document) -> frozenset[str]:
-        matched: set[str] = set()
-        if self._base is not None:
-            matched |= self._base.filter_document(document)
-        if self._delta is not None:
-            matched |= self._delta.filter_document(document)
+    def _merge(
+        self, base_matched: frozenset[str], delta_matched: frozenset[str]
+    ) -> frozenset[str]:
+        """One document's answer from the per-layer answers: the delta
+        layer shadows base-layer oids it redefines, tombstones drop."""
+        shadowed = self._base_filters.keys() & self._delta_filters.keys()
+        matched = set(base_matched)
+        if shadowed:
+            matched -= shadowed
+        matched |= delta_matched
         matched -= self._tombstones
         return frozenset(matched)
 
+    def filter_document(self, document: Document) -> frozenset[str]:
+        return self._merge(
+            self._base.filter_document(document) if self._base is not None else frozenset(),
+            self._delta.filter_document(document) if self._delta is not None else frozenset(),
+        )
+
     def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
-        events = list(events)
-        layers = [m for m in (self._base, self._delta) if m is not None]
-        if not layers:
-            count = sum(1 for e in events if type(e).__name__ == "EndDocument")
-            return [frozenset()] * count
-        answers = [machine.process_events(iter(events)) for machine in layers]
-        out = []
-        for per_doc in zip(*answers):
-            merged: set[str] = set()
-            for part in per_doc:
-                merged |= part
-            out.append(frozenset(merged - self._tombstones))
-        return out
+        """Filter a SAX event stream; one oid-set per document.
 
-    def filter_text(self, source: str | bytes | IO) -> list[frozenset[str]]:
-        return self.filter_events(iterparse(source))
+        All layers are driven incrementally from a single pass — the
+        stream is never materialised, so infinite streams run in the
+        bounded memory the machines' own memory manager provides.
+        """
+        handler = _LayerFanout(self)
+        dispatch(iter(events), handler)
+        return handler.answers
 
-    def stats(self) -> dict:
+    def filter_stream(
+        self, source: Union[str, bytes, IO[str], IO[bytes]], backend: str | None = None
+    ) -> list[frozenset[str]]:
+        """Parse and filter XML text on the push-mode fast path: the
+        scanner drives both layer machines directly, no Event objects
+        or per-layer buffering in between."""
+        from repro.xmlstream.parser import parse_into
+
+        handler = _LayerFanout(self)
+        self.bytes_processed += parse_into(source, handler, backend=backend or self.backend)
+        return handler.answers
+
+    def filter_text(
+        self, source: Union[str, bytes, IO[str], IO[bytes]]
+    ) -> list[frozenset[str]]:
+        """Historical alias for :meth:`filter_stream`."""
+        return self.filter_stream(source)
+
+    # ------------------------------------------------------------------
+    # Persistence (Sec. 8 across restarts)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Capture base + delta + tombstones as a JSON-safe dict.
+
+        The base ships as a compiled :mod:`repro.xpush.persist`
+        workload — restoring skips XPath parsing and AFA compilation
+        for the (large) base layer; the (small) delta ships as sources
+        and is recompiled on restore.  A worker restarted from this
+        snapshot resumes the exact workload version, uncompacted
+        updates included.
+        """
+        from repro.xpush.persist import workload_to_json
+
         return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "base": (
+                workload_to_json(self._base.workload) if self._base is not None else None
+            ),
+            "delta": {oid: f.source for oid, f in self._delta_filters.items()},
+            "tombstones": sorted(self._tombstones),
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Replace the current workload with a :meth:`snapshot` capture."""
+        from repro.xpath.parser import parse_xpath
+        from repro.xpush.persist import PersistError, workload_from_json
+
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise PersistError("not a persisted layered engine snapshot")
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise PersistError(
+                f"unsupported layered snapshot version {snapshot.get('version')!r}"
+            )
+        base_data = snapshot.get("base")
+        delta_data = snapshot.get("delta") or {}
+        tombstones = snapshot.get("tombstones") or []
+        if not isinstance(delta_data, Mapping) or not isinstance(tombstones, list):
+            raise PersistError("malformed layered snapshot")
+        if base_data is not None:
+            base_workload = workload_from_json(base_data)
+            base_filters = {
+                afa.oid: parse_xpath(afa.source, afa.oid) for afa in base_workload.afas
+            }
+            base_machine: XPushMachine | None = self._machine_of(base_workload)
+        else:
+            base_filters = {}
+            base_machine = None
+        delta_filters = {
+            oid: parse_xpath(source, oid) for oid, source in delta_data.items()
+        }
+        known = base_filters.keys() | delta_filters.keys()
+        stale = [oid for oid in tombstones if oid not in known]
+        if stale:
+            raise PersistError(f"tombstones for unknown oids: {stale[:8]}")
+        self._base_filters = base_filters
+        self._delta_filters = delta_filters
+        self._tombstones = set(tombstones)
+        self._base = base_machine
+        self._delta = self._build(list(delta_filters.values()))
+
+    # ------------------------------------------------------------------
+    # Warm-up, stats, lifecycle
+    # ------------------------------------------------------------------
+
+    def warm_up(self, seed: int = 0) -> int:
+        """Warm the base layer over workload-derived training documents
+        (Sec. 5); returns the number of training documents processed."""
+        count = 0
+        if self._base is not None:
+            count += self._base.warm_up(seed=seed)
+        if self._delta is not None:
+            count += self._delta.warm_up(seed=seed)
+        return count
+
+    def stats(self) -> dict[str, Any]:
+        base, delta = self._base, self._delta
+        layers = [m for m in (base, delta) if m is not None]
+        return {
+            "engine": self.name,
+            "filters": self.filter_count,
             "base_filters": len(self._base_filters),
             "delta_filters": len(self._delta_filters),
             "tombstones": len(self._tombstones),
-            "base_states": self._base.state_count if self._base else 0,
-            "delta_states": self._delta.state_count if self._delta else 0,
+            "base_states": base.state_count if base else 0,
+            "delta_states": delta.state_count if delta else 0,
             "insertions": self.insertions,
             "compactions": self.compactions,
+            "hit_ratio": base.stats.hit_ratio if base else 0.0,
+            # Cross-layer aggregates, named as the serial machine names
+            # them so composite (sharded/broker) stats read uniformly.
+            "afa_states": sum(m.workload.state_count for m in layers),
+            "xpush_states": sum(m.state_count for m in layers),
+            "events": sum(m.stats.events for m in layers),
+            "bytes_processed": self.bytes_processed,
+            "resident_bytes": sum(m.store.resident_bytes for m in layers),
+            "table_entries": sum(m.store.table_entries for m in layers),
+            "evictions": sum(m.stats.evictions for m in layers),
+            "gc_states": sum(m.stats.gc_states for m in layers),
+            "flushes": sum(m.stats.flushes for m in layers),
         }
+
+    def close(self) -> None:
+        """Release the layer machines; the engine can be restored or
+        rebuilt through updates afterwards."""
+        self._base = None
+        self._delta = None
+        self._base_filters = {}
+        self._delta_filters = {}
+        self._tombstones = set()

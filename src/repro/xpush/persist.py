@@ -135,6 +135,42 @@ def _validate(workload: WorkloadAutomata) -> None:
         raise PersistError(f"states without an owning AFA: {orphans[:8]}")
 
 
+def save_engine_snapshot(snapshot: dict, target: str | IO) -> None:
+    """Write an engine ``snapshot()`` capture (e.g. a layered engine's
+    base + delta + tombstones) as JSON to a path or file object.
+
+    This is the restart story of the update control plane: a worker or
+    CLI session that dies with uncompacted updates resumes the exact
+    workload version from this file via ``engine.restore(...)``."""
+    if not isinstance(snapshot, dict) or not str(snapshot.get("format", "")).startswith(
+        "repro-"
+    ):
+        raise PersistError("not an engine snapshot (missing repro format tag)")
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, separators=(",", ":"))
+    else:
+        json.dump(snapshot, target, separators=(",", ":"))
+
+
+def load_engine_snapshot(source: str | IO) -> dict:
+    """Read an engine snapshot written by :func:`save_engine_snapshot`.
+
+    Only the envelope is validated here (it is plain data, safe to load
+    from untrusted storage); the engine's ``restore()`` validates the
+    payload it understands."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    if not isinstance(data, dict) or not str(data.get("format", "")).startswith(
+        "repro-"
+    ):
+        raise PersistError("not an engine snapshot (missing repro format tag)")
+    return data
+
+
 def save_workload(workload: WorkloadAutomata, target: str | IO) -> None:
     """Write the compiled workload as JSON to a path or file object."""
     payload = workload_to_json(workload)

@@ -11,7 +11,8 @@ hit ratio, same state counts, same everything the stats record.
 from __future__ import annotations
 
 from repro.afa.build import build_workload_automata
-from repro.service.worker import _build_machine, build_payload
+from repro.engine import EngineConfig
+from repro.service.worker import _build_engine, build_payload
 from repro.xpush.machine import XPushMachine
 from repro.xpush.options import XPushOptions
 from repro.xpush.persist import workload_from_json, workload_to_json
@@ -46,20 +47,39 @@ def test_snapshot_round_trip_replays_identically(protein):
 
 
 def test_worker_boot_path_matches_parent_machine(protein):
-    """The exact code path a shard worker runs (payload → machine)."""
+    """The exact code path a shard worker runs (payload → engine): the
+    engine booted from the shipped snapshot must replay *behaviourally*
+    identically to a machine built from the parent's in-memory
+    automata — same answers, same lazy-table decisions."""
     filters = make_workload(protein, 14, seed=5)
     stream = protein.stream_text(10)
     workload = build_workload_automata(filters)
 
     parent = XPushMachine(workload, TD, dtd=protein.dtd)
     parent.warm_up(seed=0)
-    worker_machine = _build_machine(
-        build_payload(workload_to_json(workload), TD, protein.dtd, warm=True, training_seed=0)
+    config = EngineConfig(engine="layered", options=TD, dtd=protein.dtd)
+    snapshot = {
+        "format": "repro-layered-engine",
+        "version": 1,
+        "base": workload_to_json(workload),
+        "delta": {},
+        "tombstones": [],
+    }
+    worker_engine = _build_engine(
+        build_payload(config, snapshot, warm=True, training_seed=0)
     )
 
     parent_results, parent_stats = _replay(parent, stream)
-    worker_results, worker_stats = _replay(worker_machine, stream)
+    worker_results = worker_engine.filter_stream(stream)
+    worker_stats = worker_engine._base.stats.snapshot()
     assert parent_results == worker_results
+    # The layered engine counts stream bytes at the engine level (the
+    # scanner feeds both layers at once); everything the base machine
+    # decided — lookups, hits, state growth — must match exactly.
+    assert worker_engine.bytes_processed == parent_stats["bytes_processed"]
+    for key in ("bytes", "bytes_processed"):
+        parent_stats.pop(key)
+        worker_stats.pop(key)
     assert parent_stats == worker_stats
 
 

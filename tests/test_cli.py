@@ -217,3 +217,83 @@ def test_bench_smoke(capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "cold:" in out and "warm:" in out and "hit_ratio" in out
+
+
+# -- the update control plane: subscribe / unsubscribe / compact ---------
+
+
+def test_subscribe_filter_unsubscribe_roundtrip(tmp_path, stream_file, capsys):
+    state = str(tmp_path / "engine.json")
+    assert main(["subscribe", "--state", state, "--oid", "s0",
+                 "--xpath", "//a[b = 1]"]) == 0
+    assert main(["subscribe", "--state", state, "--oid", "s1",
+                 "--xpath", "//c"]) == 0
+    capsys.readouterr()
+
+    assert main(["filter", "--state", state, "--input", stream_file]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert out == ["0\ts0", "1\ts1", "2\t-"]
+
+    assert main(["unsubscribe", "--state", state, "--oid", "s0"]) == 0
+    captured = capsys.readouterr()
+    assert "1 filters" in captured.err
+    assert main(["filter", "--state", state, "--input", stream_file]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert out == ["0\t-", "1\ts1", "2\t-"]
+
+
+def test_compact_preserves_answers(tmp_path, stream_file, capsys):
+    state = str(tmp_path / "engine.json")
+    for oid, xpath in (("s0", "//a[b = 1]"), ("s1", "//c"), ("s2", "//zzz")):
+        assert main(["subscribe", "--state", state, "--oid", oid,
+                     "--xpath", xpath]) == 0
+    assert main(["unsubscribe", "--state", state, "--oid", "s2"]) == 0
+    capsys.readouterr()
+    assert main(["filter", "--state", state, "--input", stream_file]) == 0
+    before = capsys.readouterr().out
+    assert main(["compact", "--state", state]) == 0
+    assert "2 filters" in capsys.readouterr().err
+    assert main(["filter", "--state", state, "--input", stream_file]) == 0
+    assert capsys.readouterr().out == before
+
+
+def test_subscribe_sharded_state(tmp_path, stream_file, capsys):
+    state = str(tmp_path / "engine.json")
+    assert main(["subscribe", "--state", state, "--engine", "sharded",
+                 "--oid", "s0", "--xpath", "//a[b = 1]"]) == 0
+    assert main(["subscribe", "--state", state, "--oid", "s1",
+                 "--xpath", "//c"]) == 0
+    capsys.readouterr()
+    assert main(["filter", "--state", state, "--input", stream_file]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert out == ["0\ts0", "1\ts1", "2\t-"]
+
+
+def test_subscribe_errors(tmp_path, capsys):
+    state = str(tmp_path / "engine.json")
+    assert main(["subscribe", "--state", state, "--oid", "s0",
+                 "--xpath", "//a"]) == 0
+    capsys.readouterr()
+    # duplicate oid
+    assert main(["subscribe", "--state", state, "--oid", "s0",
+                 "--xpath", "//b"]) == 2
+    assert "s0" in capsys.readouterr().err
+    # invalid xpath never touches the state file
+    before = open(state).read()
+    assert main(["subscribe", "--state", state, "--oid", "s1",
+                 "--xpath", "//a[("]) == 2
+    capsys.readouterr()
+    assert open(state).read() == before
+    # unknown oid on unsubscribe
+    assert main(["unsubscribe", "--state", state, "--oid", "ghost"]) == 2
+    assert "ghost" in capsys.readouterr().err
+
+
+def test_filter_rejects_multiple_workload_sources(query_file, tmp_path, capsys):
+    state = str(tmp_path / "engine.json")
+    assert main(["subscribe", "--state", state, "--oid", "s0",
+                 "--xpath", "//a"]) == 0
+    capsys.readouterr()
+    assert main(["filter", "--queries", query_file, "--state", state,
+                 "--input", "-"]) == 2
+    assert "exactly one" in capsys.readouterr().err

@@ -107,3 +107,75 @@ def test_empty_engine():
     assert engine.filter_text("<x/><y/>") == [frozenset(), frozenset()]
     engine.insert("a", "//x")
     assert engine.filter_document(doc("<x/>")) == {"a"}
+
+def test_reinsert_with_different_filter_shadows_stale_base_definition():
+    """Regression: re-inserting a tombstoned base oid with a *new*
+    filter must not resurrect the old definition — the stale base
+    automaton used to keep answering (and the oid was double-counted)."""
+    engine = LayeredFilterEngine.from_xpath({"a": "//x", "b": "//y"})
+    engine.remove("a")
+    engine.insert("a", "//y")  # same oid, different filter
+    assert engine.filter_count == 2
+    assert engine.filter_document(doc("<x/>")) == frozenset()  # old def dead
+    assert engine.filter_document(doc("<y/>")) == {"a", "b"}
+    # One answer set per document, each oid reported at most once.
+    assert engine.filter_text("<x/><y/>") == [frozenset(), frozenset({"a", "b"})]
+    engine.compact()
+    assert engine.filter_count == 2
+    assert engine.filter_document(doc("<x/>")) == frozenset()
+    assert engine.filter_document(doc("<y/>")) == {"a", "b"}
+
+
+def test_filter_events_is_single_pass():
+    """Regression: the event path used to buffer the whole stream per
+    layer before dispatching.  Now both layers are driven as the events
+    are pulled, so earlier documents have flowed through the machines
+    by the time later ones are read from the iterator."""
+    from repro.xmlstream.events import events_of_document
+
+    engine = LayeredFilterEngine.from_xpath({"a": "//x"})
+    engine.insert("b", "//y")
+    first = events_of_document(doc("<x/>"))
+    second = events_of_document(doc("<y/>"))
+    base_events_before_second = []
+
+    def stream():
+        yield from first
+        base_events_before_second.append(engine._base.stats.events)
+        yield from second
+
+    assert engine.filter_events(stream()) == [frozenset({"a"}), frozenset({"b"})]
+    assert base_events_before_second[0] > 0
+
+
+def test_snapshot_restore_with_uncompacted_layers():
+    """The persisted form carries base + delta + tombstones verbatim;
+    a restored engine answers identically without a compaction."""
+    engine = LayeredFilterEngine.from_xpath({"a": "//x", "b": "//y"})
+    engine.insert("c", "//z")
+    engine.remove("b")
+    snapshot = engine.snapshot()
+
+    restored = LayeredFilterEngine([])
+    restored.restore(snapshot)
+    assert restored.filter_count == engine.filter_count == 2
+    for xml in ("<x/>", "<y/>", "<z/>"):
+        assert restored.filter_document(doc(xml)) == engine.filter_document(doc(xml))
+    stats = restored.stats()
+    assert stats["delta_filters"] == 1 and stats["tombstones"] == 1
+    # Updates keep working on the restored engine.
+    restored.insert("b", "//x")
+    assert restored.filter_document(doc("<x/>")) == {"a", "b"}
+
+
+def test_restore_rejects_malformed_snapshots():
+    from repro.xpush.persist import PersistError
+
+    engine = LayeredFilterEngine([])
+    with pytest.raises(PersistError):
+        engine.restore({"format": "something-else"})
+    good = LayeredFilterEngine.from_xpath({"a": "//x"}).snapshot()
+    with pytest.raises(PersistError):
+        engine.restore({**good, "version": 99})
+    with pytest.raises(PersistError):
+        engine.restore({**good, "tombstones": ["ghost"]})  # stale tombstone
