@@ -36,6 +36,7 @@ reproduction record.
 
 from repro.broker import MessageBroker
 from repro.engine import EngineConfig, FilterEngine, create_engine, engine_names
+from repro.serving import FilterServer, ServerThread, ServingClient
 from repro.service import ShardedFilterEngine
 from repro.xmlstream.dom import Document, Element, parse_document, parse_forest
 from repro.xmlstream.dtd import DTD
@@ -56,10 +57,13 @@ __all__ = [
     "Element",
     "EngineConfig",
     "FilterEngine",
+    "FilterServer",
     "GeneratorConfig",
     "LayeredFilterEngine",
     "MessageBroker",
     "QueryGenerator",
+    "ServerThread",
+    "ServingClient",
     "ShardedFilterEngine",
     "XPushMachine",
     "XPushOptions",

@@ -226,6 +226,35 @@ class MessageBroker:
             out["evictions"] = engine_stats.get("evictions", 0)
         return out
 
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        default_policy: str = "block",
+        high_watermark: int = 256,
+    ):
+        """A network front door over this broker's engine: a
+        :class:`repro.serving.server.FilterServer` *borrowing* the live
+        engine (the broker keeps ownership and its in-process delivery
+        path).  Network ``subscribe``/``unsubscribe`` verbs act on the
+        shared engine directly — oids issued over the wire live beside
+        the broker's ``subN`` oids, and network consumers receive their
+        fan-out from the server's per-consumer queues while local
+        ``on_deliver`` subscribers keep being routed by ``publish``.
+
+        The caller starts it (``ServerThread`` or ``await start()``);
+        stopping the server never closes the broker's engine."""
+        from repro.serving.server import FilterServer
+
+        return FilterServer(
+            self._engine(),
+            host=host,
+            port=port,
+            default_policy=default_policy,
+            high_watermark=high_watermark,
+        )
+
     def close(self) -> None:
         """Release resources (shard worker processes); publishing after
         close lazily rebuilds the engine from the live subscriptions,

@@ -9,6 +9,10 @@ Commands:
   recompiling the warmed base workload, and fold the accumulated delta
   in on demand (Sec. 8); ``filter --state`` then serves the updated
   workload;
+- ``serve`` — run the network serving tier (``repro.serving``): accept
+  documents from concurrent publishers over TCP frames and HTTP POST,
+  fan matched oids out to per-consumer queues, and keep the
+  subscribe/unsubscribe/compact control plane live as API verbs;
 - ``generate-data`` — emit a synthetic Protein/NASA stream;
 - ``generate-queries`` — emit a synthetic workload for a dataset;
 - ``inspect`` — show how a filter parses and compiles (AST, AFA
@@ -279,6 +283,78 @@ def cmd_filter(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.engine import EngineConfig
+    from repro.serving import FilterServer
+
+    if args.queries and args.state:
+        raise ReproError("pass at most one of --queries and --state")
+    config = EngineConfig(
+        engine=args.engine,
+        backend=args.backend,
+        shards=max(args.shards, 1) if args.engine == "sharded" else 1,
+        batch_size=args.batch_size,
+        parallel=None if args.engine == "sharded" else False,
+    )
+    borrowed_engine = None
+    if args.state:
+        borrowed_engine = _load_state(args.state, args.engine)
+        server = FilterServer(
+            borrowed_engine,
+            host=args.host,
+            port=args.port,
+            default_policy=args.policy,
+            high_watermark=args.high_watermark,
+        )
+    else:
+        filters = _load_queries(args.queries) if args.queries else None
+        server = FilterServer(
+            config=config,
+            filters=filters,
+            host=args.host,
+            port=args.port,
+            default_policy=args.policy,
+            high_watermark=args.high_watermark,
+        )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"# serving engine={args.engine} on {server.host}:{server.port} "
+            f"(TCP frames + HTTP; policy={args.policy}, "
+            f"high_watermark={args.high_watermark})",
+            file=sys.stderr,
+        )
+        try:
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:
+                await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+        finally:
+            await server.stop()
+            stats = server.stats_nowait()
+            print(
+                f"# served {stats['publishes']} publishes "
+                f"({stats['published_docs']} documents, "
+                f"{stats['deliveries']} deliveries, "
+                f"epoch {stats['epoch']})",
+                file=sys.stderr,
+            )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        if borrowed_engine is not None:
+            borrowed_engine.close()
+    return 0
+
+
 def cmd_generate_data(args) -> int:
     dataset = _dataset(args.dataset, args.seed)
     if args.bytes:
@@ -540,6 +616,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--state", required=True, help="engine state file (JSON)")
     p.set_defaults(func=cmd_compact)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the network serving tier (TCP frames + HTTP on one port)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9723,
+                   help="TCP port (0 = pick an ephemeral port)")
+    p.add_argument("--queries", help="initial workload file (oid<TAB>xpath per line)")
+    p.add_argument("--state", help="engine state file (see `subscribe`) to serve")
+    p.add_argument("--engine", default="layered",
+                   choices=["xpush", "layered", "sharded"],
+                   help="engine kind behind the server (default layered: "
+                        "live updates never flush the warmed base)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard count when --engine sharded")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="documents per work item when --engine sharded")
+    p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
+                   help="parser backend for the push-mode event path")
+    p.add_argument("--policy", default="block",
+                   choices=["block", "drop_oldest", "evict"],
+                   help="default slow-consumer policy at the high watermark")
+    p.add_argument("--high-watermark", type=int, default=256,
+                   help="default per-consumer queue bound (events)")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="serve for N seconds then drain and exit (0 = forever)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("analyze", help="profile a workload's sharing structure")
     p.add_argument("--queries", required=True)

@@ -64,3 +64,25 @@ class DTDError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a filter workload is ill-formed (e.g. duplicate oids)."""
+
+
+class ServingError(ReproError):
+    """Raised by the network serving tier (`repro.serving`) for
+    server-side failures that are not wire-protocol violations: unknown
+    consumers, verbs on a draining server, client-side timeouts."""
+
+
+class ProtocolError(ServingError):
+    """Raised on a malformed wire frame (`repro.serving.protocol`).
+
+    Attributes:
+        recoverable: True when the frame boundary is still trustworthy
+            (e.g. a well-delimited frame holding invalid JSON), so the
+            connection can skip the frame and keep decoding; False when
+            framing itself is broken (oversized or negative declared
+            length) and the connection must be closed.
+    """
+
+    def __init__(self, message: str, recoverable: bool = False):
+        super().__init__(message)
+        self.recoverable = recoverable

@@ -1,0 +1,166 @@
+"""Per-consumer delivery queues with backpressure policies.
+
+Every subscriber of the serving tier owns one :class:`Consumer`: a
+bounded asyncio delivery queue plus the policy applied when a producer
+finds it full (the *high watermark*).  The policies mirror the three
+classic answers to a slow consumer in a pub/sub broker:
+
+- ``"block"`` — the publisher coroutine waits for space.  Backpressure
+  propagates to the publishing connection (its ack is delayed), while
+  other consumers keep receiving — fan-out to each consumer is an
+  independent await.
+- ``"drop_oldest"`` — the oldest undelivered event is discarded to make
+  room (counted in ``dropped``); the publisher never waits.
+- ``"evict"`` — the consumer itself is closed with a reason, on the
+  theory that a consumer this far behind will never catch up; a
+  connection attached in push mode receives a final close frame.
+
+Delivery is pull (``get_batch`` — the long-poll verb) or push (the
+server pumps the queue into an attached connection); both drain the
+same queue, so a consumer may long-poll, then attach, then poll again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+from repro.errors import ServingError, WorkloadError
+
+#: Accepted slow-consumer policies.
+POLICIES = ("block", "drop_oldest", "evict")
+
+
+class ConsumerClosed(ServingError):
+    """Raised to a waiter when the consumer is closed/evicted under it."""
+
+
+class Consumer:
+    """One subscriber's delivery queue and counters.
+
+    Not thread-safe: every method runs on the server's event loop.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: str = "block",
+        high_watermark: int = 256,
+        payload: bool = False,
+    ):
+        if policy not in POLICIES:
+            raise WorkloadError(
+                f"unknown slow-consumer policy {policy!r}; known: {sorted(POLICIES)}"
+            )
+        if high_watermark < 1:
+            raise WorkloadError(f"high_watermark must be >= 1, got {high_watermark}")
+        self.name = name
+        self.policy = policy
+        self.high_watermark = high_watermark
+        self.payload = payload
+        self.closed = False
+        self.close_reason: str | None = None
+        self.enqueued = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.polls = 0
+        self._queue: deque[dict[str, Any]] = deque()
+        self._readable = asyncio.Event()
+        self._writable = asyncio.Event()
+        self._writable.set()
+
+    # -- producer side -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    async def offer(self, event: dict[str, Any]) -> bool:
+        """Enqueue one delivery, applying the slow-consumer policy.
+
+        Returns False when the event was not enqueued because the
+        consumer is (or just became) closed.
+        """
+        if self.closed:
+            return False
+        if len(self._queue) >= self.high_watermark:
+            if self.policy == "drop_oldest":
+                while len(self._queue) >= self.high_watermark:
+                    self._queue.popleft()
+                    self.dropped += 1
+            elif self.policy == "evict":
+                self.close("slow_consumer")
+                return False
+            else:  # block
+                while len(self._queue) >= self.high_watermark:
+                    self._writable.clear()
+                    await self._writable.wait()
+                    if self.closed:
+                        return False
+        self._queue.append(event)
+        self.enqueued += 1
+        self._readable.set()
+        return True
+
+    # -- consumer side -------------------------------------------------
+
+    async def get_batch(
+        self, max_events: int = 64, timeout: float | None = None
+    ) -> list[dict[str, Any]]:
+        """Up to *max_events* pending deliveries, waiting up to
+        *timeout* seconds when the queue is empty (the long-poll).
+
+        Raises :class:`ConsumerClosed` when the consumer was evicted or
+        closed and its queue is fully drained — pending events are
+        always handed out before the closure is reported.
+        """
+        self.polls += 1
+        if not self._queue and not self.closed:
+            self._readable.clear()
+            try:
+                await asyncio.wait_for(self._readable.wait(), timeout)
+            except asyncio.TimeoutError:
+                return []
+        if not self._queue:
+            if self.closed:
+                raise ConsumerClosed(
+                    f"consumer {self.name!r} closed ({self.close_reason})"
+                )
+            return []
+        batch = []
+        while self._queue and len(batch) < max_events:
+            batch.append(self._queue.popleft())
+        self.delivered += len(batch)
+        self._writable.set()  # wake blocked producers
+        if not self._queue and not self.closed:
+            self._readable.clear()
+        return batch
+
+    def close(self, reason: str = "closed") -> None:
+        """Close the consumer; idempotent.  Pending events stay readable
+        until drained, waiters are woken so they observe the closure."""
+        if self.closed:
+            return
+        self.closed = True
+        self.close_reason = reason
+        self._readable.set()
+        self._writable.set()
+
+    @property
+    def evicted(self) -> bool:
+        return self.closed and self.close_reason == "slow_consumer"
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "high_watermark": self.high_watermark,
+            "depth": self.depth,
+            "enqueued": self.enqueued,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "polls": self.polls,
+            "closed": self.closed,
+            "evicted": self.evicted,
+            "close_reason": self.close_reason,
+        }

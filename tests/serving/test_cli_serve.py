@@ -1,0 +1,92 @@
+"""The ``python -m repro serve`` verb, driven over a real socket."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.serving import ServingClient
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+@pytest.fixture
+def serve_cli(tmp_path):
+    """Run ``repro serve`` on a background thread for the test's
+    duration; yields (port, queries_path)."""
+    queries = tmp_path / "queries.txt"
+    queries.write_text("q0\t//a[b = 1]\nq1\t//c\n")
+    port = _free_port()
+    exit_codes: list[int] = []
+    thread = threading.Thread(
+        target=lambda: exit_codes.append(
+            main(
+                [
+                    "serve",
+                    "--port", str(port),
+                    "--queries", str(queries),
+                    "--engine", "layered",
+                    "--duration", "8",
+                    "--policy", "drop_oldest",
+                    "--high-watermark", "16",
+                ]
+            )
+        )
+    )
+    thread.start()
+    # wait for the listener
+    for _ in range(100):
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=0.1):
+                break
+        except OSError:
+            import time
+
+            time.sleep(0.05)
+    else:
+        pytest.fail("serve verb never opened its port")
+    yield port
+    thread.join(15)
+    assert exit_codes == [0]
+
+
+def test_serve_verb_serves_frames_and_control_plane(serve_cli):
+    port = serve_cli
+    with ServingClient("127.0.0.1", port) as client:
+        assert client.publish("<a><b>1</b></a><c/>") == [
+            frozenset({"q0"}),
+            frozenset({"q1"}),
+        ]
+        client.subscribe("q2", "//b", consumer="cli-consumer")
+        assert client.publish("<b>x</b>") == [frozenset({"q2"})]
+        events = client.drain("cli-consumer", timeout=1.0)
+        assert [e["oids"] for e in events] == [["q2"]]
+        stats = client.stats()
+        assert stats["engine"]["engine"] == "layered"
+        assert stats["consumers"]["cli-consumer"]["policy"] == "drop_oldest"
+        assert stats["consumers"]["cli-consumer"]["high_watermark"] == 16
+
+
+def test_serve_rejects_conflicting_sources(tmp_path):
+    queries = tmp_path / "queries.txt"
+    queries.write_text("q0\t//a\n")
+    state = tmp_path / "state.json"
+    state.write_text("{}")
+    assert (
+        main(
+            [
+                "serve",
+                "--queries", str(queries),
+                "--state", str(state),
+                "--duration", "0.1",
+            ]
+        )
+        == 2
+    )

@@ -1,0 +1,158 @@
+"""End-to-end differential wall: the live server == the serial machine.
+
+N concurrent publishers push document streams through a real loopback
+socket while M subscribers drain per-consumer queues; every publish ack
+must carry exactly the oid-sets the serial :class:`XPushMachine`
+computes for the same documents, for every engine kind behind the
+server (serial xpush, layered, sharded — in-process and with worker
+processes).  Deliveries are checked against the acks: each consumer
+receives one event per (document, owned matched oids) pair, no more,
+no fewer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.serving import ServingClient
+from repro.xpush.machine import XPushMachine
+
+from tests.serving.conftest import DOC_POOL, FILTER_POOL
+
+#: consumer name -> the oids it owns (3 subscribers over 8 filters).
+CONSUMER_OIDS = {
+    "alice": ["q0", "q1", "q2"],
+    "bob": ["q3", "q4", "q5"],
+    "carol": ["q6", "q7"],
+}
+
+ENGINE_CONFIGS = {
+    "xpush": EngineConfig(engine="xpush"),
+    "layered": EngineConfig(engine="layered", compact_threshold=4),
+    "sharded-serial": EngineConfig(engine="sharded", shards=3, parallel=False),
+}
+
+
+def ground_truth() -> dict[str, list[frozenset[str]]]:
+    """Per-publish-text expected answers from the serial machine."""
+    machine = XPushMachine.from_xpath(dict(FILTER_POOL))
+    return {text: machine.filter_stream(text) for text in DOC_POOL}
+
+
+def _publisher(host, port, texts, acks, errors):
+    try:
+        with ServingClient(host, port) as client:
+            for text in texts:
+                acks.append((text, client.publish_detail(text)))
+    except Exception as error:  # noqa: BLE001 - reported to the main thread
+        errors.append(error)
+
+
+def run_wall(serve, config, publishers=4, rounds=3):
+    handle = serve(config, dict(FILTER_POOL))
+    host, port = handle.address
+    with ServingClient(host, port) as control:
+        # Route each seed oid to its consumer: unsubscribe the unrouted
+        # seed definition and re-subscribe it bound to the consumer
+        # (routing rides the subscribe verb).
+        for name, oids in CONSUMER_OIDS.items():
+            control.create_consumer(name, policy="block", high_watermark=512)
+            for oid in oids:
+                control.unsubscribe(oid)
+                control.subscribe(oid, FILTER_POOL[oid], consumer=name)
+
+        expected = ground_truth()
+        threads, acks, errors = [], [], []
+        for p in range(publishers):
+            # each publisher rotates the pool from its own offset
+            texts = [
+                DOC_POOL[(p + i) % len(DOC_POOL)]
+                for i in range(rounds * len(DOC_POOL))
+            ]
+            thread = threading.Thread(
+                target=_publisher, args=(host, port, texts, acks, errors)
+            )
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors
+        assert len(acks) == publishers * rounds * len(DOC_POOL)
+
+        # -- answers: byte-identical to the serial machine ------------
+        seqs = set()
+        for text, ack in acks:
+            got = [frozenset(matched) for matched in ack["results"]]
+            assert got == expected[text], text
+            seqs.update(range(ack["seq"], ack["seq"] + len(got)))
+        total_docs = sum(len(expected[text]) for text, _ in acks)
+        assert len(seqs) == total_docs  # seq ranges never overlap
+
+        # -- deliveries: exactly the acked matches, per consumer ------
+        want = {name: set() for name in CONSUMER_OIDS}
+        owner = {
+            oid: name for name, oids in CONSUMER_OIDS.items() for oid in oids
+        }
+        for text, ack in acks:
+            for index, matched in enumerate(ack["results"]):
+                per = {}
+                for oid in matched:
+                    per.setdefault(owner[oid], []).append(oid)
+                for name, oids in per.items():
+                    want[name].add((ack["seq"] + index, tuple(sorted(oids))))
+        for name in CONSUMER_OIDS:
+            events = control.drain(name, timeout=1.0)
+            got = {(e["seq"], tuple(e["oids"])) for e in events}
+            assert got == want[name], name
+
+        stats = control.stats()
+        assert stats["published_docs"] == total_docs
+        assert stats["publish_errors"] == 0
+        assert stats["partial_frames"] == 0
+        for name, entry in stats["consumers"].items():
+            assert entry["dropped"] == 0 and not entry["evicted"], name
+    handle.stop()
+
+
+@pytest.mark.parametrize("kind", sorted(ENGINE_CONFIGS), ids=sorted(ENGINE_CONFIGS))
+def test_concurrent_publishers_match_serial_machine(serve, kind):
+    run_wall(serve, ENGINE_CONFIGS[kind])
+
+
+def test_sharded_worker_processes_match_serial_machine(serve):
+    config = EngineConfig(engine="sharded", shards=2, warm=False, batch_size=4)
+    handle = serve(config, dict(FILTER_POOL))
+    if not handle.server.engine.parallel:  # type: ignore[attr-defined]
+        pytest.skip("multiprocessing unavailable on this platform")
+    expected = ground_truth()
+    host, port = handle.address
+    with ServingClient(host, port) as client:
+        for text in DOC_POOL:
+            assert client.publish(text) == expected[text]
+    handle.stop()
+
+
+def test_http_and_frame_publishers_agree(serve):
+    """The two ingestion transports are one verb: identical answers."""
+    import json
+    import urllib.request
+
+    handle = serve(EngineConfig(engine="layered"), dict(FILTER_POOL))
+    host, port = handle.address
+    expected = ground_truth()
+    with ServingClient(host, port) as client:
+        for text in DOC_POOL:
+            framed = client.publish(text)
+            request = urllib.request.Request(
+                f"http://{host}:{port}/publish",
+                data=text.encode("utf-8"),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                over_http = [
+                    frozenset(m) for m in json.loads(response.read())["results"]
+                ]
+            assert framed == over_http == expected[text]

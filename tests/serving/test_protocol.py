@@ -1,0 +1,164 @@
+"""Property wall for the wire protocol (`repro.serving.protocol`).
+
+The round-trip law: any sequence of JSON-object payloads, encoded and
+concatenated, decodes back to exactly that sequence **no matter where
+the byte stream is cut** — including cuts inside the length prefix and
+inside a multi-byte UTF-8 sequence, and including frames far larger
+than one TCP segment.  Malformed bodies raise a recoverable
+:class:`ProtocolError` that consumes exactly one frame; broken length
+prefixes poison the decoder (the connection-level response is tested in
+``test_faults.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.serving.protocol import (
+    PREFIX_SIZE,
+    FrameDecoder,
+    decode_body,
+    encode_frame,
+)
+
+# JSON-safe payload objects with plenty of multi-byte text: CJK,
+# surrogate-free astral plane, combining marks, and the XML-ish shapes
+# the serving tier actually ships.
+_text = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_categories=("Cs",), include_characters="é漢🎈́<&>"
+    ),
+    max_size=40,
+)
+_scalar = st.one_of(st.none(), st.booleans(), st.integers(), _text)
+_payloads = st.dictionaries(
+    _text,
+    st.one_of(_scalar, st.lists(_scalar, max_size=4), st.dictionaries(_text, _scalar, max_size=3)),
+    max_size=5,
+)
+
+
+def _decode_in_chunks(data: bytes, cuts: list[int]) -> list[dict]:
+    decoder = FrameDecoder()
+    frames = []
+    start = 0
+    for cut in sorted(set(cuts)):
+        frames.extend(decoder.feed(data[start:cut]))
+        start = cut
+    frames.extend(decoder.feed(data[start:]))
+    assert decoder.buffered == 0
+    return frames
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    payloads=st.lists(_payloads, min_size=1, max_size=5),
+    data=st.data(),
+)
+def test_round_trip_at_arbitrary_cut_points(payloads, data):
+    stream = b"".join(encode_frame(p) for p in payloads)
+    cuts = data.draw(
+        st.lists(st.integers(0, len(stream)), max_size=12), label="cuts"
+    )
+    assert _decode_in_chunks(stream, cuts) == payloads
+
+
+def test_round_trip_at_every_single_byte_boundary():
+    """The exhaustive version of the property on a crafted stream: a
+    document >64 KiB plus multi-byte UTF-8 placed to straddle every
+    possible chunk boundary when fed one byte at a time."""
+    big_doc = "<doc>" + "é漢🎈" * (64 * 1024 // 8) + "</doc>"
+    payloads = [
+        {"op": "publish", "xml": big_doc},
+        {"é": "漢", "emoji": "🎈🎈🎈"},
+        {"op": "ping"},
+    ]
+    stream = b"".join(encode_frame(p) for p in payloads)
+    assert len(stream) > 64 * 1024  # really bigger than one frame's worth
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(0, len(stream), 1):
+        frames.extend(decoder.feed(stream[i : i + 1]))
+    assert frames == payloads
+    assert decoder.buffered == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=_payloads)
+def test_encode_is_canonical_json(payload):
+    frame = encode_frame(payload)
+    (length,) = struct.unpack_from("!I", frame)
+    assert len(frame) == PREFIX_SIZE + length
+    assert json.loads(frame[PREFIX_SIZE:].decode("utf-8")) == payload
+    assert decode_body(frame[PREFIX_SIZE:]) == payload
+
+
+@pytest.mark.parametrize(
+    "body",
+    [b"not json", b"[1, 2]", b'"a string"', b"123", b"\xff\xfe\x00", b"{"],
+    ids=["garbage", "array", "string", "number", "bad-utf8", "truncated-json"],
+)
+def test_malformed_body_is_recoverable_and_consumes_one_frame(body):
+    decoder = FrameDecoder()
+    good = encode_frame({"after": True})
+    with pytest.raises(ProtocolError) as excinfo:
+        decoder.feed(struct.pack("!I", len(body)) + body + good)
+    assert excinfo.value.recoverable
+    # the bad frame was consumed; the stream continues with the next one
+    assert decoder.feed(b"") == [{"after": True}]
+
+
+def test_feed_all_collects_recoverable_errors_in_order():
+    decoder = FrameDecoder()
+    chunk = (
+        encode_frame({"n": 1})
+        + struct.pack("!I", 3) + b"bad"
+        + encode_frame({"n": 2})
+        + struct.pack("!I", 4) + b"nope"
+        + encode_frame({"n": 3})
+    )
+    frames, errors = decoder.feed_all(chunk)
+    assert frames == [{"n": 1}, {"n": 2}, {"n": 3}]
+    assert len(errors) == 2 and all(e.recoverable for e in errors)
+
+
+def test_oversized_declared_length_poisons_the_decoder():
+    decoder = FrameDecoder(max_frame=1024)
+    with pytest.raises(ProtocolError) as excinfo:
+        decoder.feed(struct.pack("!I", 1025))
+    assert not excinfo.value.recoverable
+    # poisoned: every later feed re-raises, nothing is silently parsed
+    with pytest.raises(ProtocolError):
+        decoder.feed(encode_frame({"op": "ping"}))
+
+
+def test_oversized_frame_rejected_before_any_body_arrives():
+    decoder = FrameDecoder(max_frame=16)
+    with pytest.raises(ProtocolError):
+        decoder.feed(struct.pack("!I", 2**31))  # prefix only, no body
+
+
+@pytest.mark.parametrize("bad", [["a list"], "text", 7, None])
+def test_encode_rejects_non_objects(bad):
+    with pytest.raises(ProtocolError):
+        encode_frame(bad)  # type: ignore[arg-type]
+
+
+def test_encode_rejects_non_json_safe_values():
+    with pytest.raises(ProtocolError):
+        encode_frame({"payload": object()})
+
+
+def test_incomplete_prefix_is_just_buffered():
+    decoder = FrameDecoder()
+    assert decoder.feed(b"\x00") == []
+    assert decoder.feed(b"\x00\x00") == []
+    assert decoder.buffered == 3
+    rest = encode_frame({"ok": True})[3:]
+    assert decoder.feed(rest) == [{"ok": True}]

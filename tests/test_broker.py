@@ -221,3 +221,24 @@ def test_sharded_and_incremental_modes_are_exclusive():
         MessageBroker(incremental=True, shards=2)
     with pytest.raises(WorkloadError):
         MessageBroker(shards=0)
+
+
+def test_broker_serve_bridges_to_network_tier():
+    from repro.serving import ServerThread, ServingClient
+
+    with MessageBroker() as broker:
+        inbox = []
+        broker.on_deliver = lambda who, doc: inbox.append(who)
+        broker.subscribe("alice", "//a[b/text() = 1]")
+        with ServerThread(broker.serve()) as handle:
+            with ServingClient(*handle.address) as client:
+                # the wire sees the broker's live workload
+                assert client.publish("<a><b>1</b></a>") == [frozenset({"sub0"})]
+                # wire-side subscriptions land in the shared engine
+                client.subscribe("net0", "//c", consumer="remote")
+                assert client.publish("<c/>") == [frozenset({"net0"})]
+                events = client.drain("remote", timeout=1.0)
+                assert [e["oids"] for e in events] == [["net0"]]
+        # stopping the server left the broker's engine alive
+        assert broker.publish_text("<a><b>1</b></a>") == 1
+        assert inbox == ["alice"]

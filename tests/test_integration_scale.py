@@ -7,6 +7,8 @@ in the automata layer cannot hide) — and across machine restarts via
 the persistence layer.
 """
 
+import pytest
+
 from repro.afa.build import build_workload_automata
 from repro.baselines import SharedPathEngine
 from repro.xmlstream.writer import document_to_xml
@@ -17,6 +19,7 @@ from repro.xpush.persist import workload_from_json, workload_to_json
 from tests.conftest import make_workload
 
 
+@pytest.mark.slow
 def test_medium_scale_consistency(protein):
     filters = make_workload(
         protein, 300, seed=2026, mean_predicates=2.0,
