@@ -46,10 +46,14 @@ runtime is differentially tested against.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.afa.predicates import AtomicPredicate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.afa.codegen import CompiledHandlers
 
 WILDCARD = "*"
 ATTRIBUTE_WILDCARD = "@*"
@@ -160,6 +164,10 @@ class WorkloadAutomata:
         self._oid_by_initial: dict[int, list[str]] = {}
         self._oid_by_notification: dict[int, list[str]] = {}
         self.masks: CompiledMasks | None = None  # built by finalize()
+        # Lazy per-bound cache of workload-specialized handlers (the
+        # "codegen" runtime); None caches a declined compilation so the
+        # fallback warning fires once per workload, not once per machine.
+        self._codegen_cache: dict[int | None, "CompiledHandlers | None"] = {}
         self._finalized = False
 
     # -- construction-time API (used by repro.afa.build) ----------------
@@ -222,6 +230,42 @@ class WorkloadAutomata:
 
         for state in self.states:
             rank_of(state.sid)
+
+    def compiled_handlers(self, max_handlers: int | None = None) -> "CompiledHandlers | None":
+        """The workload-specialized compiled handlers for the
+        ``"codegen"`` runtime, built on first request and cached per
+        *max_handlers* bound — machines over the same workload (clones,
+        shards, a layered engine's base layer across delta epochs)
+        share one compilation.
+
+        Returns None — after warning exactly once — when the workload
+        exceeds the bound or the emitter declines it; callers fall back
+        to the interpreted bitmask tables, never a hard error.
+        """
+        if self.masks is None:
+            from repro.errors import WorkloadError
+
+            raise WorkloadError(
+                "codegen needs a finalized workload (call finalize())"
+            )
+        cache = self._codegen_cache
+        if max_handlers in cache:
+            return cache[max_handlers]
+        from repro.afa.codegen import compile_handlers
+
+        handlers: "CompiledHandlers | None"
+        try:
+            handlers = compile_handlers(self, max_handlers)
+        except Exception as exc:
+            warnings.warn(
+                f"codegen runtime unavailable for this workload ({exc}); "
+                f"falling back to the bitmask runtime",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            handlers = None
+        cache[max_handlers] = handlers
+        return handlers
 
     # -- run-time API (used by the XPush machine) ------------------------
 
@@ -549,6 +593,41 @@ class CompiledMasks:
     def sids_of(mask: int) -> tuple[int, ...]:
         """The sorted sid tuple a mask denotes."""
         return bits_of(mask)
+
+    # -- emit-ready table exports (consumed by repro.afa.codegen) ---------
+
+    def rev_rows(self) -> dict[str, dict[int, int]]:
+        """δ⁻¹ regrouped by label: ``label -> {target sid -> mask of
+        source states}`` — the per-label view the code generator
+        specializes pop handlers from."""
+        rows: dict[str, dict[int, int]] = {}
+        for sid, by_label in enumerate(self._rev_masks):
+            if by_label:
+                for label, sources in by_label.items():
+                    rows.setdefault(label, {})[sid] = sources
+        return rows
+
+    def push_rows(self) -> dict[str, tuple[int, dict[int, int], int]]:
+        """The t_push label index: ``label -> (sources mask, {source
+        sid -> ε-closed targets mask}, union of all target closures)``,
+        wildcard rows already folded into concrete labels."""
+        return dict(self._push_by_label)
+
+    def top_rows(self) -> dict[str, int]:
+        """⊤-edge owners per label (owners of ``s --a--> ⊤``)."""
+        return dict(self._top_masks)
+
+    def eps_rows(self) -> list[int]:
+        """Per-sid mask of direct ε-successors."""
+        return list(self._eps_masks)
+
+    def up_rows(self) -> list[int]:
+        """Per-sid transitive upward ε-closure masks."""
+        return list(self._up_masks)
+
+    def rank_bucket_rows(self) -> tuple[tuple[int, int, int], ...]:
+        """Per ε-rank ≥ 1: (AND, NOT, OR) connective masks."""
+        return self._rank_buckets
 
     # -- runtime transitions ---------------------------------------------
 

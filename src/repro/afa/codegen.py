@@ -1,0 +1,635 @@
+"""Workload-specialized code generation for the XPush cold path.
+
+The ``"bitmask"`` runtime (:class:`repro.afa.automaton.CompiledMasks`)
+already turned the paper's set algebra into integer bitwise ops, but it
+still *interprets* generic tables per event: every ``t_pop`` walks the
+rank-bucketed eval sweep over all connectives and then the per-label
+δ⁻¹ rows, every ``t_push`` re-resolves its label row.  Following the
+whole-query-optimisation idea (rewrite the workload once, before any
+event arrives) this module emits and ``compile()``-s straight-line
+Python *specialized to one concrete workload*:
+
+- one **push handler per label**, with the label's source mask and the
+  ε-closed target masks inlined as int literals (the all-sources fast
+  path becomes ``return <literal>``);
+- one **fused pop handler per label** that computes
+  ``δ⁻¹(eval(qb), label)`` without materialising ``eval(qb)``: only
+  connectives that are δ⁻¹ *targets* of the label (or feed one through
+  ε-edges) can contribute, and the rest of eval is elided entirely.
+  Conditions that are pure mask tests over ``qb`` — AND/OR over
+  non-connective children, the overwhelming majority — are merged by
+  children mask into one straight-line test (ORs and single-conjunct
+  ANDs fold into the swept table outright); only NOTs, nested sub-DAGs
+  and direct-presence mixes remain as boolean assignments.  Large
+  sweeps scan 64-bit *windows* of the mask against lazily-built
+  per-window union tables — O(words) per pop, not O(set bits) — which
+  is what keeps thousand-filter sets (hundreds of live states each)
+  cheap;
+- one **evaluated-input pop handler per label** for the early-
+  notification path, which genuinely needs the full ``eval(qb)`` (the
+  notification check inspects every filter's notification state) — so
+  the full eval is emitted too, unrolled into one line per connective
+  when the DAG is small;
+- **dead branches are elided at emit time**: a state that can never
+  occur in a bottom-up set (not a terminal, not an edge source, not a
+  ⊤-edge owner) is constant-folded out of every firing condition, and
+  the folds cascade — a NOT over an impossible child becomes constant
+  true, an AND with one impossible conjunct disappears, handlers whose
+  tables end up empty collapse to ``return <literal>``.
+
+Specialization contract: the fused pop handlers assume their argument
+is a *reachable* bottom-up set — a subset of the "possible" mask
+(terminals ∪ edge sources ∪ ⊤-edge owners, plus everything eval can
+add), which every set the machine interns is by construction.  The
+emitted eval is valid on arbitrary masks.
+
+The generated source is retained on the :class:`CompiledHandlers` for
+debugging (``dump_source()``, surfaced by ``repro-xpush explain
+--codegen``).  Workloads whose handler count would exceed the
+``codegen_max_handlers`` bound raise :class:`CodegenUnsupported`;
+:meth:`~repro.afa.automaton.WorkloadAutomata.compiled_handlers`
+converts that (and any emitter failure) into a single warning plus a
+bitmask-runtime fallback, never a hard error.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.afa.automaton import (
+    ATTRIBUTE_WILDCARD,
+    WILDCARD,
+    CompiledMasks,
+    StateKind,
+    WorkloadAutomata,
+)
+from repro.errors import WorkloadError
+
+#: Sweeps over at most this many table entries are unrolled into
+#: ``if mask & bit`` lines instead of a chunked table scan.
+UNROLL_SWEEP = 6
+
+#: Chunked sweeps split the scanned mask into windows this wide and
+#: union one lazily-built table entry per non-zero window — O(words)
+#: per call instead of O(set bits) big-int extractions.  Wider windows
+#: shrink both the loop count and the cost of the running shift (which
+#: is itself O(remaining words) per window, so the whole scan is
+#: quadratic in window count); 64 bits keeps window patterns small
+#: enough that they still recur across events and stay cheap to hash.
+CHUNK_BITS = 64
+
+_CHUNK_MASK = (1 << CHUNK_BITS) - 1
+
+#: A chunk table that somehow outgrows this many lazily-built entries
+#: is cleared and refilled (windows seen in real streams repeat; this
+#: only bounds the pathological case).
+CHUNK_TABLE_LIMIT = 262_144
+
+#: The full eval is unrolled (one line per connective, no candidate
+#: filtering) only while the whole connective DAG stays this small;
+#: larger DAGs keep the bucketed sweep, with the buckets as literals.
+UNROLL_EVAL = 32
+
+#: Name the compiled code reports in tracebacks.
+_SOURCE_NAME = "<repro.afa.codegen>"
+
+_VAR = re.compile(r"\bx\d+\b")
+
+
+class CodegenUnsupported(WorkloadError):
+    """The emitter declined this workload (e.g. handler bound exceeded)."""
+
+
+def _chunk_builder(
+    table: dict[int, int], per_bit: dict[int, int]
+) -> Callable[[int], int]:
+    """Lazy filler for a chunked-sweep table: key ``(window << 16) |
+    pattern`` maps to the union of *per_bit* contributions over the
+    pattern's bits.  Windows recur across events, so each entry is
+    built once and then served by a plain dict probe."""
+
+    def build(key: int) -> int:
+        pattern = key & _CHUNK_MASK
+        shift = (key >> CHUNK_BITS) * CHUNK_BITS
+        union = 0
+        while pattern:
+            low = pattern & -pattern
+            union |= per_bit.get(low << shift, 0)
+            pattern ^= low
+        if len(table) >= CHUNK_TABLE_LIMIT:
+            table.clear()
+        table[key] = union
+        return union
+
+    return build
+
+
+@dataclass
+class CompiledHandlers:
+    """The compiled per-workload transition handlers.
+
+    ``push``/``pop``/``pop_ev`` map concrete labels (wildcard rows
+    folded in at emit time) to compiled functions; the ``*_default``
+    functions serve labels absent from the tables (wildcard-only
+    behaviour).  All handlers map ``int -> int`` over state-set masks.
+    """
+
+    source: str
+    handler_count: int
+    compile_ms: float
+    eval_closure: Callable[[int], int]
+    push: dict[str, Callable[[int], int]]
+    push_elem_default: Callable[[int], int]
+    push_attr_default: Callable[[int], int]
+    pop: dict[str, Callable[[int], int]]
+    pop_elem_default: Callable[[int], int]
+    pop_attr_default: Callable[[int], int]
+    pop_ev: dict[str, Callable[[int], int]]
+    pop_ev_elem_default: Callable[[int], int]
+    pop_ev_attr_default: Callable[[int], int]
+
+    def dump_source(self) -> str:
+        """The generated Python source (debugging / ``explain`` view)."""
+        return self.source
+
+
+def planned_handler_count(masks: CompiledMasks) -> int:
+    """How many functions :func:`compile_handlers` would emit — the
+    quantity ``codegen_max_handlers`` bounds, computable without
+    emitting anything."""
+    pop_labels = set(masks.rev_rows()) | set(masks.top_rows())
+    pop_labels.update((WILDCARD, ATTRIBUTE_WILDCARD))
+    push_labels = set(masks.push_rows())
+    push_labels.update((WILDCARD, ATTRIBUTE_WILDCARD))
+    return 2 * len(pop_labels) + len(push_labels) + 1
+
+
+def compile_handlers(
+    workload: WorkloadAutomata, max_handlers: int | None = None
+) -> CompiledHandlers:
+    """Emit, ``compile()`` and bind the specialized handlers for
+    *workload*.  Raises :class:`CodegenUnsupported` when the workload
+    needs more than *max_handlers* functions."""
+    masks = workload.masks
+    if masks is None:
+        raise WorkloadError("codegen needs a finalized workload (call finalize())")
+    planned = planned_handler_count(masks)
+    if max_handlers is not None and planned > max_handlers:
+        raise CodegenUnsupported(
+            f"workload needs {planned} handlers, codegen_max_handlers={max_handlers}"
+        )
+    started = time.perf_counter()
+    handlers = _Emitter(workload, masks).emit()
+    handlers.compile_ms = (time.perf_counter() - started) * 1000.0
+    if handlers.handler_count != planned:  # pragma: no cover - emitter invariant
+        raise WorkloadError(
+            f"codegen emitted {handlers.handler_count} handlers, planned {planned}"
+        )
+    return handlers
+
+
+class _Emitter:
+    """Builds the generated source plus the exec namespace holding the
+    (few) tables too large to unroll; every handler binds its table as
+    a default argument so the compiled body does local loads only."""
+
+    def __init__(self, workload: WorkloadAutomata, masks: CompiledMasks) -> None:
+        self.workload = workload
+        self.masks = masks
+        self.states = workload.states
+        self.lines: list[str] = []
+        self.namespace: dict[str, Any] = {}
+        self.count = 0
+        self.rev_rows = masks.rev_rows()
+        self.push_rows = masks.push_rows()
+        self.top_rows = masks.top_rows()
+        # The "possible" mask: every sid a bottom-up set can contain.
+        # qb is built from t_value results (terminals), δ⁻¹ results
+        # (edge sources and ⊤-edge owners) and merges/strips of those.
+        possible = masks.terminal_mask
+        for sources_mask, _by_source, _full in self.push_rows.values():
+            possible |= sources_mask
+        for top_mask in self.top_rows.values():
+            possible |= top_mask
+        self.possible = possible
+
+    # -- emission helpers ----------------------------------------------
+
+    def _bind(self, name: str, table: object, local: str = "_t") -> str:
+        """Register *table* under a global name; returns the def-line
+        parameter binding it as a default argument."""
+        self.namespace[name] = table
+        return f", {local}={name}"
+
+    def _sweep_body(
+        self,
+        name: str,
+        arg: str,
+        out_init: int,
+        entries: dict[int, int],
+        has_tail: bool,
+    ) -> tuple[str, list[str]]:
+        """(def-line params, body lines) computing ``out = out_init |
+        ⋃ entries[bit]`` over the set bits of *arg*.  Small tables are
+        unrolled into ``if`` lines.  Large ones pick per call: sparse
+        masks bit-scan the per-bit table, dense masks (more set bits
+        than ``CHUNK_BITS``-wide windows) scan whole windows against a
+        lazily-built per-window union table — real sets carry hundreds
+        of states, and per-*word* beats per-*bit* exactly then."""
+        if not entries:
+            if not has_tail:
+                return "", [f"    return {out_init:#x}"]
+            return "", [f"    out = {out_init:#x}"]
+        lines = [f"    out = {out_init:#x}"]
+        params = ""
+        if len(entries) <= UNROLL_SWEEP:
+            for bit, mask in sorted(entries.items()):
+                lines.append(f"    if {arg} & {bit:#x}:")
+                lines.append(f"        out |= {mask:#x}")
+        else:
+            table: dict[int, int] = {}
+            params = self._bind(f"{name}_p", entries, "_p")
+            params += self._bind(f"{name}_t", table)
+            params += self._bind(f"{name}_b", _chunk_builder(table, entries), "_b")
+            full = 0
+            for bit in entries:
+                full |= bit
+            windows = (full.bit_length() + CHUNK_BITS - 1) // CHUNK_BITS
+            lines.append(f"    m = {arg} & {full:#x}")
+            lines.append(f"    if m.bit_count() <= {windows}:")
+            lines.append("        while m:")
+            lines.append("            low = m & -m")
+            lines.append("            out |= _p[low]")
+            lines.append("            m ^= low")
+            lines.append("    else:")
+            lines.append("        w = 0")
+            lines.append("        while m:")
+            lines.append(f"            seg = m & {_CHUNK_MASK:#x}")
+            lines.append("            if seg:")
+            lines.append("                seg |= w")
+            lines.append("                u = _t.get(seg)")
+            lines.append("                if u is None:")
+            lines.append("                    u = _b(seg)")
+            lines.append("                out |= u")
+            lines.append(f"            m >>= {CHUNK_BITS}")
+            lines.append(f"            w += {1 << CHUNK_BITS:#x}")
+        if not has_tail:
+            lines.append("    return out")
+        return params, lines
+
+    # -- connective sub-DAG folding ------------------------------------
+
+    def _fold_connectives(
+        self, roots: list[int]
+    ) -> tuple[list[str], dict[int, object], dict[int, tuple[str, int]]]:
+        """Straight-line boolean assignments for the connective sub-DAG
+        reachable from *roots* through ε-edges, constant-folded against
+        the possible mask.  Returns (statements, value map, simple map);
+        a value is True/False (folded away) or an expression string over
+        ``qb`` (a variable name or a direct-presence test).  The simple
+        map covers connectives whose condition is *purely* a mask test
+        over ``qb`` — ``("and", m)`` for ``qb & m == m``, ``("or", m)``
+        for ``qb & m`` — which pop handlers turn into swept table
+        entries instead of unconditional straight-line tests."""
+        states = self.states
+        dag: set[int] = set()
+        stack = list(roots)
+        while stack:
+            sid = stack.pop()
+            if sid in dag:
+                continue
+            dag.add(sid)
+            for child in states[sid].eps:
+                if states[child].is_connective:
+                    stack.append(child)
+        possible = self.possible
+        values: dict[int, object] = {}
+        simple: dict[int, tuple[str, int]] = {}
+        statements: list[str] = []
+        for sid in sorted(dag, key=lambda s: (states[s].rank, s)):
+            state = states[sid]
+            fired: object
+            simple_fired: tuple[str, int] | None = None
+            if state.kind is StateKind.NOT:
+                child = state.eps[0]
+                if states[child].is_connective:
+                    value = values[child]
+                    if value is True:
+                        fired = False
+                    elif value is False:
+                        fired = True
+                    else:
+                        fired = f"not {value}"
+                elif possible & (1 << child):
+                    fired = f"not qb & {1 << child:#x}"
+                else:
+                    fired = True  # child can never match: NOT always fires
+            elif state.kind is StateKind.AND:
+                nc_mask = 0
+                terms: list[str] = []
+                fired = None
+                for child in state.eps:
+                    if states[child].is_connective:
+                        value = values[child]
+                        if value is False:
+                            fired = False  # one conjunct can never hold
+                            break
+                        if value is not True:
+                            terms.append(str(value))
+                    else:
+                        nc_mask |= 1 << child
+                if fired is None:
+                    if nc_mask & ~possible:
+                        fired = False  # an impossible non-connective conjunct
+                    elif not terms and nc_mask:
+                        fired = f"qb & {nc_mask:#x} == {nc_mask:#x}"
+                        simple_fired = ("and", nc_mask)
+                    else:
+                        if nc_mask:
+                            terms.insert(0, f"qb & {nc_mask:#x} == {nc_mask:#x}")
+                        fired = " and ".join(terms) if terms else True
+            else:  # OR with ε-successors
+                nc_mask = 0
+                terms = []
+                fired = None
+                for child in state.eps:
+                    if states[child].is_connective:
+                        value = values[child]
+                        if value is True:
+                            fired = True  # one disjunct always holds
+                            break
+                        if value is not False:
+                            terms.append(str(value))
+                    else:
+                        nc_mask |= 1 << child
+                if fired is None:
+                    nc_mask &= possible  # impossible disjuncts fold away
+                    if not terms and nc_mask:
+                        fired = f"qb & {nc_mask:#x}"
+                        simple_fired = ("or", nc_mask)
+                    else:
+                        if nc_mask:
+                            terms.insert(0, f"qb & {nc_mask:#x}")
+                        fired = " or ".join(terms) if terms else False
+            # x_sid = (sid directly present in qb) or fired
+            direct = possible & (1 << sid)
+            if fired is True:
+                values[sid] = True
+            elif fired is False:
+                values[sid] = f"qb & {1 << sid:#x}" if direct else False
+                if direct:
+                    simple[sid] = ("or", direct)
+            elif direct:
+                statements.append(f"    x{sid} = qb & {1 << sid:#x} or ({fired})")
+                values[sid] = f"x{sid}"
+            else:
+                statements.append(f"    x{sid} = {fired}")
+                values[sid] = f"x{sid}"
+                if simple_fired is not None:
+                    simple[sid] = simple_fired
+        return statements, values, simple
+
+    @staticmethod
+    def _prune(statements: list[str], tail: list[str]) -> list[str]:
+        """Drop assignments whose variable no consumer (transitively)
+        reads — targets folded to constants leave dead prefixes."""
+        used: set[str] = set()
+        for line in tail:
+            used.update(_VAR.findall(line))
+        kept: list[str] = []
+        for line in reversed(statements):
+            var, _, rhs = line.strip().partition(" = ")
+            if var in used:
+                kept.append(line)
+                used.update(_VAR.findall(rhs))
+        kept.reverse()
+        return kept
+
+    # -- handler emitters ----------------------------------------------
+
+    def _pop_tables(self, label: str) -> tuple[dict[int, int], int]:
+        """(target sid -> δ⁻¹ contribution, ⊤-edge constant) for a
+        label, with the wildcard row folded in."""
+        wildcard = ATTRIBUTE_WILDCARD if label.startswith("@") else WILDCARD
+        contributions: dict[int, int] = {}
+        for row_label in {label, wildcard}:
+            for sid, sources in self.rev_rows.get(row_label, {}).items():
+                contributions[sid] = contributions.get(sid, 0) | sources
+        top = self.top_rows.get(label, 0)
+        if label != wildcard:
+            top |= self.top_rows.get(wildcard, 0)
+        return contributions, top
+
+    def _emit_pop(self, index: int, label: str) -> str:
+        """The fused handler: qb -> δ⁻¹(eval(qb), label), specialized
+        to reachable qb sets (see module docstring)."""
+        name = f"_pop_{index}"
+        contributions, top = self._pop_tables(label)
+        states = self.states
+        conn_targets = sorted(
+            sid for sid in contributions if states[sid].is_connective
+        )
+        statements, values, simple = self._fold_connectives(conn_targets)
+        out_init = top
+        sweep: dict[int, int] = {}
+        conj: dict[int, int] = {}  # conjunction mask -> contribution
+        tail: list[str] = []
+        for sid, sources in sorted(contributions.items()):
+            if states[sid].is_connective:
+                value = values[sid]
+                if value is True:
+                    out_init |= sources  # always fires: fold into the constant
+                elif value is False:
+                    continue
+                elif sid in simple:
+                    # A purely-over-qb condition: single-bit and OR
+                    # forms merge into the swept table (any child
+                    # present fires, unions are idempotent); multi-bit
+                    # conjunctions stay as one straight-line test each,
+                    # merged by children mask.
+                    kind, mask = simple[sid]
+                    if kind == "or" or mask & (mask - 1) == 0:
+                        while mask:
+                            low = mask & -mask
+                            sweep[low] = sweep.get(low, 0) | sources
+                            mask ^= low
+                    else:
+                        conj[mask] = conj.get(mask, 0) | sources
+                else:
+                    tail.append(f"    if {value}:")
+                    tail.append(f"        out |= {sources:#x}")
+            elif self.possible & (1 << sid):
+                bit = 1 << sid
+                sweep[bit] = sweep.get(bit, 0) | sources
+        statements = self._prune(statements, tail)
+        conj_lines: list[str] = []
+        for mask, sources in sorted(conj.items()):
+            conj_lines.append(f"    if qb & {mask:#x} == {mask:#x}:")
+            conj_lines.append(f"        out |= {sources:#x}")
+        has_tail = bool(tail or conj_lines)
+        sweep_params, sweep_lines = self._sweep_body(
+            name, "qb", out_init, sweep, has_tail
+        )
+        self.lines.append(
+            f"def {name}(qb{sweep_params}):  # t_pop, label {label!r}"
+        )
+        self.lines.extend(sweep_lines)
+        if has_tail:
+            self.lines.extend(conj_lines)
+            self.lines.extend(statements)
+            self.lines.extend(tail)
+            self.lines.append("    return out")
+        self.lines.append("")
+        self.count += 1
+        return name
+
+    def _emit_pop_ev(self, index: int, label: str) -> str:
+        """The evaluated-input handler: eval(qb) -> δ⁻¹(·, label), used
+        by the early-notification path."""
+        name = f"_ev_{index}"
+        contributions, top = self._pop_tables(label)
+        states = self.states
+        sweep = {
+            1 << sid: sources
+            for sid, sources in contributions.items()
+            # A non-connective never enters a set through eval: if it
+            # cannot occur in qb it cannot occur in eval(qb) either.
+            if states[sid].is_connective or self.possible & (1 << sid)
+        }
+        params, body = self._sweep_body(name, "ev", top, sweep, has_tail=False)
+        self.lines.append(
+            f"def {name}(ev{params}):  # t_pop on eval'd input, label {label!r}"
+        )
+        self.lines.extend(body)
+        self.lines.append("")
+        self.count += 1
+        return name
+
+    def _emit_push(self, index: int, label: str) -> str:
+        name = f"_push_{index}"
+        entry = self.push_rows.get(label)
+        lines = self.lines
+        if entry is None:
+            lines.append(f"def {name}(e):  # t_push, label {label!r} (no edges)")
+            lines.append("    return 0")
+        else:
+            sources_mask, by_source, full_union = entry
+            entries = {1 << sid: closed for sid, closed in by_source.items()}
+            params, body = self._sweep_body(name, "m", 0, entries, has_tail=False)
+            lines.append(f"def {name}(e{params}):  # t_push, label {label!r}")
+            lines.append(f"    m = e & {sources_mask:#x}")
+            lines.append(f"    if m == {sources_mask:#x}:")
+            lines.append(f"        return {full_union:#x}")
+            lines.extend(body)
+        lines.append("")
+        self.count += 1
+        return name
+
+    def _emit_eval(self) -> str:
+        """The full eval(q) closure, specialized to the workload's
+        connective DAG (used by the early-notification pop path)."""
+        name = "_eval"
+        lines = self.lines
+        connectives = [s for s in self.states if s.is_connective]
+        eps_rows = self.masks.eps_rows()
+        if not connectives:
+            lines.append(f"def {name}(r):  # eval(q): no connectives")
+            lines.append("    return r")
+        elif len(connectives) <= UNROLL_EVAL:
+            # One straight line per connective, in ε-rank order; the
+            # bitmask runtime's candidate filter is an optimisation
+            # (a connective only fires off its children), not needed
+            # once the sweep itself is this short.
+            lines.append(
+                f"def {name}(r):  # eval(q), {len(connectives)} connectives unrolled"
+            )
+            for state in sorted(connectives, key=lambda s: (s.rank, s.sid)):
+                eps = eps_rows[state.sid]
+                if state.kind is StateKind.AND:
+                    lines.append(f"    if r & {eps:#x} == {eps:#x}:")
+                elif state.kind is StateKind.NOT:
+                    lines.append(f"    if not r & {eps:#x}:")
+                else:
+                    lines.append(f"    if r & {eps:#x}:")
+                lines.append(f"        r |= {1 << state.sid:#x}")
+            lines.append("    return r")
+        else:
+            self.namespace["_up_rows"] = self.masks.up_rows()
+            self.namespace["_eps_rows"] = eps_rows
+            lines.append(
+                f"def {name}(r, _up=_up_rows, _eps=_eps_rows):"
+                f"  # eval(q), {len(connectives)} connectives"
+            )
+            lines.append(f"    seen = {self.masks.not_up_mask:#x}")
+            lines.append("    m = r")
+            lines.append("    while m:")
+            lines.append("        low = m & -m")
+            lines.append("        seen |= _up[low.bit_length() - 1]")
+            lines.append("        m ^= low")
+            tests = ("mask & r == mask", "not mask & r", "mask & r")
+            for bucket_row in self.masks.rank_bucket_rows():
+                for kind, bucket in enumerate(bucket_row):
+                    if not bucket:
+                        continue  # no states of this kind at this rank
+                    lines.append(f"    m = {bucket:#x} & seen & ~r")
+                    lines.append("    while m:")
+                    lines.append("        low = m & -m")
+                    lines.append("        mask = _eps[low.bit_length() - 1]")
+                    lines.append(f"        if {tests[kind]}:")
+                    lines.append("            r |= low")
+                    lines.append("        m ^= low")
+            lines.append("    return r")
+        lines.append("")
+        self.count += 1
+        return name
+
+    # -- driver ---------------------------------------------------------
+
+    def emit(self) -> CompiledHandlers:
+        masks = self.masks
+        self.lines.append(
+            f"# Generated by repro.afa.codegen for a workload of "
+            f"{len(self.workload.afas)} filters / {masks.state_count} AFA states."
+        )
+        self.lines.append("")
+        pop_labels = sorted(
+            set(self.rev_rows) | set(self.top_rows) | {WILDCARD, ATTRIBUTE_WILDCARD}
+        )
+        push_labels = sorted(set(self.push_rows) | {WILDCARD, ATTRIBUTE_WILDCARD})
+        pop_names = {
+            label: self._emit_pop(i, label) for i, label in enumerate(pop_labels)
+        }
+        ev_names = {
+            label: self._emit_pop_ev(i, label) for i, label in enumerate(pop_labels)
+        }
+        push_names = {
+            label: self._emit_push(i, label) for i, label in enumerate(push_labels)
+        }
+        eval_name = self._emit_eval()
+        source = "\n".join(self.lines)
+        namespace = self.namespace
+        namespace["__builtins__"] = {}
+        exec(compile(source, _SOURCE_NAME, "exec"), namespace)  # noqa: S102
+
+        def bound(name: str) -> Callable[[int], int]:
+            fn: Callable[[int], int] = namespace[name]
+            return fn
+
+        return CompiledHandlers(
+            source=source,
+            handler_count=self.count,
+            compile_ms=0.0,
+            eval_closure=bound(eval_name),
+            push={label: bound(name) for label, name in push_names.items()},
+            push_elem_default=bound(push_names[WILDCARD]),
+            push_attr_default=bound(push_names[ATTRIBUTE_WILDCARD]),
+            pop={label: bound(name) for label, name in pop_names.items()},
+            pop_elem_default=bound(pop_names[WILDCARD]),
+            pop_attr_default=bound(pop_names[ATTRIBUTE_WILDCARD]),
+            pop_ev={label: bound(name) for label, name in ev_names.items()},
+            pop_ev_elem_default=bound(ev_names[WILDCARD]),
+            pop_ev_attr_default=bound(ev_names[ATTRIBUTE_WILDCARD]),
+        )

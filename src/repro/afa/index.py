@@ -30,6 +30,10 @@ from typing import Hashable, Iterable
 from repro.afa.ahocorasick import AhoCorasick
 from repro.afa.predicates import AtomicPredicate, canonical_value, parse_number
 
+#: ``key_of`` memoises raw value -> key up to this many distinct values;
+#: past it the memo is cleared (stream values are unbounded, keys are not).
+KEY_CACHE_LIMIT = 16_384
+
 
 class AtomicPredicateIndex:
     """Maps data values to the set of satisfied predicate payloads.
@@ -48,6 +52,7 @@ class AtomicPredicateIndex:
         self._starts_with: list[tuple[str, Hashable]] = []
         self._matcher: AhoCorasick | None = None
         self._cache: dict[Hashable, frozenset] = {}
+        self._key_cache: dict[str, Hashable] = {}
         self.lookups = 0
         self.hits = 0
 
@@ -96,7 +101,12 @@ class AtomicPredicateIndex:
     def key_of(self, raw_value: str) -> Hashable:
         """Canonical key: values with equal keys satisfy the same
         predicates.  The key is cheap — O(log m) bisections plus one
-        Aho–Corasick scan when ``contains`` predicates exist."""
+        Aho–Corasick scan when ``contains`` predicates exist — and
+        memoised per raw value: the machine asks once per text event,
+        and stream values repeat far more often than keys change."""
+        cached = self._key_cache.get(raw_value)
+        if cached is not None:
+            return cached
         if not self._frozen:
             raise RuntimeError("freeze() the index before lookups")
         value = canonical_value(raw_value)
@@ -114,7 +124,11 @@ class AtomicPredicateIndex:
                 i for i, (prefix, _) in enumerate(self._starts_with) if value.startswith(prefix)
             )
             substring_key = (matched, prefixes)
-        return (numeric_key, string_key, substring_key)
+        key = (numeric_key, string_key, substring_key)
+        if len(self._key_cache) >= KEY_CACHE_LIMIT:
+            self._key_cache.clear()
+        self._key_cache[raw_value] = key
+        return key
 
     @staticmethod
     def _interval_key(constants: list, value) -> tuple[int, bool]:

@@ -436,6 +436,45 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """Show the compiled form of a whole workload — counts by default,
+    the generated straight-line Python with ``--codegen``."""
+    from repro.xpush.options import XPushOptions
+
+    if not args.query and not args.queries:
+        raise ReproError("explain needs --queries FILE or --query XPATH")
+    filters = (
+        [parse_xpath(args.query, "q")] if args.query else _load_queries(args.queries)
+    )
+    workload = build_workload_automata(filters)
+    print(f"filters     : {len(workload.afas)}")
+    print(f"AFA states  : {workload.state_count}")
+    if not args.codegen:
+        return 0
+    options = XPushOptions(runtime="codegen")
+    if args.max_handlers is not None:
+        options = XPushOptions(
+            runtime="codegen", codegen_max_handlers=args.max_handlers
+        )
+    machine = XPushMachine(workload, options)
+    source = machine.dump_source()
+    if source is None:
+        print(
+            "codegen declined (handler bound exceeded); "
+            "running on the interpreted bitmask tables",
+            file=sys.stderr,
+        )
+        return 1
+    stats = machine.stats
+    print(
+        f"codegen     : {stats.codegen_handlers} handlers, "
+        f"compiled in {stats.codegen_compile_ms:.1f} ms"
+    )
+    print()
+    print(source)
+    return 0
+
+
 def cmd_compile(args) -> int:
     from repro.xpush.persist import save_workload
 
@@ -508,6 +547,12 @@ def cmd_bench(args) -> int:
     print(f"warm: {warm:.3f}s ({megabytes / warm:.2f} MB/s)")
     print(f"states={machine.state_count} avg_size={machine.average_state_size:.1f} "
           f"hit_ratio={machine.stats.hit_ratio:.1%}")
+    if args.runtime == "codegen":
+        print(
+            f"codegen: compile={machine.stats.codegen_compile_ms:.1f}ms "
+            f"handlers={machine.stats.codegen_handlers} "
+            f"fallbacks={machine.stats.codegen_fallbacks}"
+        )
     if options.max_memory_bytes is not None:
         print(
             f"memory: bound={options.max_memory_bytes} eviction={options.eviction} "
@@ -678,6 +723,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--verbose", "-v", action="store_true")
     p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "explain", help="show the compiled form of a workload"
+    )
+    p.add_argument("--queries", help="query file (oid<TAB>xpath per line)")
+    p.add_argument("--query", help="a single XPath filter instead of --queries")
+    p.add_argument("--codegen", action="store_true",
+                   help="print the workload-specialized Python the codegen "
+                        "runtime dispatches into")
+    p.add_argument("--max-handlers", type=int, default=None,
+                   help="override the codegen handler bound "
+                        "(XPushOptions.codegen_max_handlers)")
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("bench", help="one-shot throughput measurement")
     p.add_argument("--dataset", default="protein", choices=["protein", "nasa", "auction"])

@@ -228,6 +228,9 @@ class SerialXPushEngine(RebuildFilterEngine):
                 evictions=machine.stats.evictions,
                 gc_states=machine.stats.gc_states,
                 flushes=machine.stats.flushes,
+                codegen_compile_ms=machine.stats.codegen_compile_ms,
+                codegen_handlers=machine.stats.codegen_handlers,
+                codegen_fallbacks=machine.stats.codegen_fallbacks,
             )
         else:
             out.update(
@@ -239,10 +242,29 @@ class SerialXPushEngine(RebuildFilterEngine):
                 evictions=0,
                 gc_states=0,
                 flushes=0,
+                codegen_compile_ms=0.0,
+                codegen_handlers=0,
+                codegen_fallbacks=0,
             )
         out["runtime"] = self.config.options.runtime
         out["backend"] = self.config.backend
         return out
+
+    def snapshot(self) -> dict[str, Any]:
+        # Record the runtime so a restored engine rebuilds the same
+        # machine shape (compiled codegen handlers are derived data,
+        # rebuilt on load exactly like the bitmask tables).
+        out = super().snapshot()
+        out["runtime"] = self.config.options.runtime
+        return out
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        super().restore(snapshot)
+        runtime = snapshot.get("runtime")
+        if isinstance(runtime, str) and runtime != self.config.options.runtime:
+            self.config = replace(
+                self.config, options=replace(self.config.options, runtime=runtime)
+            )
 
 
 class _EagerAdapter:

@@ -778,6 +778,9 @@ class ShardedFilterEngine:
         ("base_states", 0),
         ("delta_states", 0),
         ("tombstones", 0),
+        ("codegen_compile_ms", 0.0),
+        ("codegen_handlers", 0),
+        ("codegen_fallbacks", 0),
     )
 
     def _shard_filter_count(self, shard_id: int) -> int:

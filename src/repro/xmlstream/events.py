@@ -133,11 +133,16 @@ def events_of_document(document) -> list[Event]:
 
     Attributes are lowered to ``@name`` pseudo-elements in document
     order, before element children, exactly as the paper's modified SAX
-    parser does.
+    parser does.  The list is cached on the document (parsed documents
+    are immutable; replaying one must not re-walk the tree each time).
     """
+    cached = document.event_cache
+    if cached is not None:
+        return cached
     out: list[Event] = [StartDocument()]
     _element_events(document.root, out)
     out.append(EndDocument())
+    document.event_cache = out
     return out
 
 

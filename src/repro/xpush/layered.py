@@ -314,6 +314,10 @@ class LayeredFilterEngine:
         return {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
+            # Compiled handlers (codegen) and bitmask tables are derived
+            # data, rebuilt by finalize() on restore; recording the
+            # runtime is enough to resume the same machine shape.
+            "runtime": self.options.runtime,
             "base": (
                 workload_to_json(self._base.workload) if self._base is not None else None
             ),
@@ -335,6 +339,9 @@ class LayeredFilterEngine:
         base_data = snapshot.get("base")
         delta_data = snapshot.get("delta") or {}
         tombstones = snapshot.get("tombstones") or []
+        runtime = snapshot.get("runtime")
+        if isinstance(runtime, str) and runtime != self.options.runtime:
+            self.options = replace(self.options, runtime=runtime)
         if not isinstance(delta_data, Mapping) or not isinstance(tombstones, list):
             raise PersistError("malformed layered snapshot")
         if base_data is not None:
@@ -398,6 +405,13 @@ class LayeredFilterEngine:
             "evictions": sum(m.stats.evictions for m in layers),
             "gc_states": sum(m.stats.gc_states for m in layers),
             "flushes": sum(m.stats.flushes for m in layers),
+            "runtime": self.options.runtime,
+            # Compile cost is per-layer (the base layer's handlers are
+            # reused across delta rebuilds, so the sum stays flat until
+            # a compaction regenerates the base).
+            "codegen_compile_ms": sum(m.stats.codegen_compile_ms for m in layers),
+            "codegen_handlers": sum(m.stats.codegen_handlers for m in layers),
+            "codegen_fallbacks": sum(m.stats.codegen_fallbacks for m in layers),
         }
 
     def close(self) -> None:

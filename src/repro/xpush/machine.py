@@ -17,15 +17,21 @@ interned states (Sec. 4): the first time a (state, event) pair occurs
 there is "a relatively high cost", recovered on every reuse; the hit
 counters quantify it (Fig. 8).
 
-That first-touch cost is paid in one of two interchangeable *runtimes*
-(``XPushOptions.runtime``): ``"bitmask"`` (default) computes against
-the workload's compiled :class:`~repro.afa.automaton.CompiledMasks` —
-state sets are single ints, ``eval``/δ⁻¹/closures are bitwise ops, and
-states intern by their mask with no sorting — while ``"sets"`` keeps
-the original frozenset/tuple algebra as the executable reference
-implementation.  The memoised hit path is identical for both; only the
-miss path differs, which is exactly what dominates in low-hit-ratio
-regimes (Fig. 8) and at large workload sizes (Figs. 6/10).
+That first-touch cost is paid in one of three interchangeable
+*runtimes* (``XPushOptions.runtime``): ``"bitmask"`` (default)
+computes against the workload's compiled
+:class:`~repro.afa.automaton.CompiledMasks` — state sets are single
+ints, ``eval``/δ⁻¹/closures are bitwise ops, and states intern by
+their mask with no sorting; ``"codegen"`` dispatches into straight-
+line Python generated per workload (:mod:`repro.afa.codegen`) — fused
+per-label pop handlers, literal-inlined push rows, dead branches
+elided — falling back to the bitmask tables (with a warning and a
+stats counter) when the workload exceeds
+``XPushOptions.codegen_max_handlers``; ``"sets"`` keeps the original
+frozenset/tuple algebra as the executable reference implementation.
+The memoised hit path is identical for all three; only the miss path
+differs, which is exactly what dominates in low-hit-ratio regimes
+(Fig. 8) and at large workload sizes (Figs. 6/10).
 
 The Sec. 5 optimisations are selected with
 :class:`repro.xpush.options.XPushOptions`:
@@ -57,7 +63,7 @@ from repro.xmlstream.parser import parse_into
 from repro.xpath.ast import XPathFilter
 from repro.xpath.parser import parse_workload
 from repro.xpush.options import XPushOptions
-from repro.xpush.state import StateStore, XPushState, XPushTopState
+from repro.xpush.state import ENTRY_BYTES, StateStore, XPushState, XPushTopState
 from repro.xpush.stats import MachineStats
 
 #: The clock sweep evicts down to this fraction of ``max_memory_bytes``.
@@ -66,6 +72,9 @@ from repro.xpush.stats import MachineStats
 #: stayed cold across document boundaries; only above *high* (the hard
 #: bound) does the sweep force eviction regardless of reference bits.
 LOW_WATERMARK_RATIO = 0.8
+
+#: Shared empty notification set (codegen pop entries reuse one object).
+_EMPTY_OIDS: frozenset[str] = frozenset()
 
 
 def compute_precedence(workload: WorkloadAutomata, dtd: DTD) -> dict[int, frozenset[int]]:
@@ -118,6 +127,9 @@ class XPushMachine:
         self.workload = workload
         self.options = options or XPushOptions()
         self.dtd = dtd
+        # Hot-path copy: end_element keys its memo per (label, qt,
+        # parent qt) under early notification, per label otherwise.
+        self._early_keys = self.options.early
         if self.options.order and dtd is None:
             raise WorkloadError("order optimisation requires a DTD")
         self.stats = MachineStats()
@@ -128,11 +140,21 @@ class XPushMachine:
         self.index.freeze()
 
         self.runtime = self.options.runtime
-        self._masks = workload.masks if self.runtime == "bitmask" else None
-        if self.runtime == "bitmask" and self._masks is None:
+        self._masks = workload.masks if self.runtime != "sets" else None
+        if self.runtime != "sets" and self._masks is None:
             raise WorkloadError(
-                "bitmask runtime needs a finalized workload (call finalize())"
+                f"{self.runtime} runtime needs a finalized workload (call finalize())"
             )
+        # The codegen runtime binds workload-specialized compiled
+        # handlers (shared across machines over the same workload); a
+        # declined compilation falls back to the interpreted bitmask
+        # tables — compiled_handlers() warned once — and the fallback
+        # wrappers below count the interpreted transitions.
+        self._handlers = (
+            workload.compiled_handlers(self.options.codegen_max_handlers)
+            if self.runtime == "codegen"
+            else None
+        )
 
         prec = compute_precedence(workload, dtd) if self.options.order else None
         self._prec = prec
@@ -152,16 +174,41 @@ class XPushMachine:
         )
         # Cold-path transitions are computed by the selected runtime;
         # the memoised hit path in the SAX callbacks is shared.
-        if self.runtime == "bitmask":
-            self._compute_push = self._compute_push_bitmask
-            self._compute_value = self._compute_value_bitmask
-            self._compute_pop = self._compute_pop_bitmask
-            self._badd = self._badd_bitmask
-        else:
+        if self.runtime == "sets":
             self._compute_push = self._compute_push_sets
             self._compute_value = self._compute_value_sets
             self._compute_pop = self._compute_pop_sets
             self._badd = self._badd_sets
+        elif self._handlers is not None:
+            # t_badd has no per-label structure to specialize; the
+            # compiled runtime shares the bitmask one.  t_value caches
+            # the per-key base mask (workload-derived, like the index's
+            # own per-key answers) so repeat keys skip the index sweep.
+            self._value_masks: dict = {}
+            # Per-label handler resolution (table probe + wildcard
+            # default) is loop-invariant; cache it per machine so the
+            # compute wrappers are one dict probe per miss.
+            self._push_fns: dict = {}
+            self._pop_fns: dict = {}
+            self._compute_push = self._compute_push_codegen
+            self._compute_value = self._compute_value_codegen
+            self._compute_pop = (
+                self._compute_pop_codegen_early
+                if self.options.early
+                else self._compute_pop_codegen
+            )
+            self._badd = self._badd_bitmask
+        elif self.runtime == "codegen":
+            self._compute_push = self._compute_push_fallback
+            self._compute_value = self._compute_value_bitmask
+            self._compute_pop = self._compute_pop_fallback
+            self._badd = self._badd_bitmask
+        else:
+            self._compute_push = self._compute_push_bitmask
+            self._compute_value = self._compute_value_bitmask
+            self._compute_pop = self._compute_pop_bitmask
+            self._badd = self._badd_bitmask
+        self._stamp_codegen_gauges()
         # The enabled set behind qt0 is a workload constant; compute it
         # once so table flushes only pay the intern, not the closure.
         if not self.options.top_down:
@@ -320,7 +367,17 @@ class XPushMachine:
             stats.hits += 1
             terminal_state.ref = True
         if terminal_state.size:
-            self._qb = self._badd(self._qb, terminal_state)
+            # t_badd hit path, inlined (see _badd_* for the miss).
+            qb = self._qb
+            qb.ref = True
+            stats.lookups += 1
+            out = qb.add_table.get(terminal_state.uid)
+            if out is None:
+                out = self._badd(qb, terminal_state)
+            else:
+                stats.hits += 1
+                out.ref = True  # a used memo entry keeps its target hot
+            self._qb = out
 
     def end_element(self, label: str) -> None:
         stats = self.stats
@@ -332,8 +389,8 @@ class XPushMachine:
         qb = self._qb
         qb.ref = True
         qt = self._qt
-        parent_qt, parent_qb, parent_content = self._stack[-1]
-        if self.options.early:
+        parent_qt, parent_qb, parent_content = self._stack.pop()
+        if self._early_keys:
             pop_key = (label, qt.uid, parent_qt.uid)
         else:
             pop_key = label
@@ -349,10 +406,21 @@ class XPushMachine:
         lifted, notified = entry
         if notified:
             self._early.update(notified)
-        self._stack.pop()
         self._qt = parent_qt
         self._content = parent_content
-        self._qb = self._badd(parent_qb, lifted)
+        if lifted.size:
+            # t_badd hit path, inlined (see _badd_* for the miss).
+            parent_qb.ref = True
+            stats.lookups += 1
+            out = parent_qb.add_table.get(lifted.uid)
+            if out is None:
+                out = self._badd(parent_qb, lifted)
+            else:
+                stats.hits += 1
+                out.ref = True  # a used memo entry keeps its target hot
+            self._qb = out
+        else:
+            self._qb = parent_qb
 
     def end_document(self) -> frozenset[str]:
         stats = self.stats
@@ -448,17 +516,10 @@ class XPushMachine:
         return [sid for sid in self._notification_sids & evaluated if qt.enables(sid)]
 
     def _badd_sets(self, qbs: XPushState, qaux: XPushState) -> XPushState:
-        if not qaux.size:
-            return qbs
-        stats = self.stats
-        qbs.ref = True
-        stats.lookups += 1
-        out = qbs.add_table.get(qaux.uid)
-        if out is not None:
-            stats.hits += 1
-            out.ref = True
-            return out
-        stats.add_computed += 1
+        """Compute t_badd on a memo miss.  The SAX callbacks inline the
+        hit path (emptiness check + ``add_table`` probe) themselves —
+        this runs only when the probe came up empty."""
+        self.stats.add_computed += 1
         prec = self._prec
         if prec:
             parent_set = qbs.sid_set
@@ -535,17 +596,10 @@ class XPushMachine:
         return entry
 
     def _badd_bitmask(self, qbs: XPushState, qaux: XPushState) -> XPushState:
-        if not qaux.mask:
-            return qbs
-        stats = self.stats
-        qbs.ref = True
-        stats.lookups += 1
-        out = qbs.add_table.get(qaux.uid)
-        if out is not None:
-            stats.hits += 1
-            out.ref = True  # a used memo entry keeps its target hot
-            return out
-        stats.add_computed += 1
+        """Compute t_badd on a memo miss.  The SAX callbacks inline the
+        hit path (emptiness check + ``add_table`` probe) themselves —
+        this runs only when the probe came up empty."""
+        self.stats.add_computed += 1
         parent = qbs.mask
         merged = parent | qaux.mask
         prec_masks = self._prec_masks
@@ -557,10 +611,166 @@ class XPushMachine:
                 if required is not None and required & parent != required:
                     merged ^= low  # a mandated preceding sibling is missing
                 fresh ^= low
-        out = self.store.intern_bottom_mask(merged)
+        store = self.store
+        out = store._bottom.get(merged)  # intern_bottom_mask, hit path inlined
+        if out is None:
+            out = store.intern_bottom_mask(merged)
+        else:
+            out.ref = True
         qbs.add_table[qaux.uid] = out
-        self.store.note_entries(1)
+        store.table_entries += 1
+        store.resident_bytes += ENTRY_BYTES
         return out
+
+    # ------------------------------------------------------------------
+    # Lazy transition computation — "codegen" runtime (compiled Python)
+    # ------------------------------------------------------------------
+
+    def _stamp_codegen_gauges(self) -> None:
+        """Mirror the compiled-handler gauges into the stats (stats
+        resets wipe them; warm_up re-stamps)."""
+        if self._handlers is not None:
+            self.stats.codegen_compile_ms = self._handlers.compile_ms
+            self.stats.codegen_handlers = self._handlers.handler_count
+
+    def dump_source(self) -> str | None:
+        """The generated Python the codegen runtime dispatches into, or
+        None when another runtime (or the fallback) is active."""
+        return self._handlers.source if self._handlers is not None else None
+
+    def _compute_push_codegen(self, qt: XPushTopState, label: str) -> XPushTopState:
+        self.stats.push_computed += 1
+        store = self.store
+        if qt.mask is None:
+            nxt = qt  # single top-down state, as in the Sec. 3.2 machine
+        else:
+            fn = self._push_fns.get(label)
+            if fn is None:
+                handlers = self._handlers
+                fn = handlers.push.get(label) or (
+                    handlers.push_attr_default
+                    if label.startswith("@")
+                    else handlers.push_elem_default
+                )
+                self._push_fns[label] = fn
+            mask = fn(qt.mask)
+            nxt = store._top.get(mask)  # intern_top_mask, hit path inlined
+            if nxt is None:
+                nxt = store.intern_top_mask(mask)
+            else:
+                nxt.ref = True
+        qt.push_table[label] = nxt
+        store.table_entries += 1
+        store.resident_bytes += ENTRY_BYTES
+        return nxt
+
+    def _compute_value_codegen(self, qt: XPushTopState, key, value: str) -> XPushState:
+        self.stats.value_computed += 1
+        base = self._value_masks.get(key)
+        if base is None:
+            base = self._masks.mask_of(self.index.lookup(value))
+            self._value_masks[key] = base
+        mask = base & qt.mask if qt.mask is not None else base
+        store = self.store
+        state = store._bottom.get(mask)  # intern_bottom_mask, hit path inlined
+        if state is None:
+            state = store.intern_bottom_mask(mask)
+        else:
+            state.ref = True
+        qt.value_table[key] = state
+        store.table_entries += 1
+        store.resident_bytes += ENTRY_BYTES
+        return state
+
+    def _compute_pop_codegen(
+        self,
+        qb: XPushState,
+        label: str,
+        qt: XPushTopState,
+        parent_qt: XPushTopState,
+        pop_key,
+    ) -> tuple[XPushState, frozenset[str]]:
+        """The fused handler computes δ⁻¹(eval(qb), label) in one call;
+        without early notification nothing else inspects eval(qb)."""
+        self.stats.pop_computed += 1
+        fn = self._pop_fns.get(label)
+        if fn is None:
+            handlers = self._handlers
+            fn = handlers.pop.get(label) or (
+                handlers.pop_attr_default
+                if label.startswith("@")
+                else handlers.pop_elem_default
+            )
+            self._pop_fns[label] = fn
+        mask = fn(qb.mask)
+        store = self.store
+        state = store._bottom.get(mask)  # intern_bottom_mask, hit path inlined
+        if state is None:
+            state = store.intern_bottom_mask(mask)
+        else:
+            state.ref = True
+        entry = (state, _EMPTY_OIDS)
+        qb.pop_table[pop_key] = entry
+        store.table_entries += 1
+        store.resident_bytes += ENTRY_BYTES
+        return entry
+
+    def _compute_pop_codegen_early(
+        self,
+        qb: XPushState,
+        label: str,
+        qt: XPushTopState,
+        parent_qt: XPushTopState,
+        pop_key,
+    ) -> tuple[XPushState, frozenset[str]]:
+        """Early notification inspects every filter's notification
+        state, so this path runs the compiled full eval and the
+        evaluated-input per-label handler instead of the fused one."""
+        self.stats.pop_computed += 1
+        handlers = self._handlers
+        masks = self._masks
+        evaluated = handlers.eval_closure(qb.mask)
+        fn = handlers.pop_ev.get(label)
+        if fn is None:
+            fn = (
+                handlers.pop_ev_attr_default
+                if label.startswith("@")
+                else handlers.pop_ev_elem_default
+            )
+        lifted = fn(evaluated)
+        notified: frozenset[str] = _EMPTY_OIDS
+        if parent_qt.mask is not None:
+            lifted &= parent_qt.mask
+        noted = masks.notification_mask & evaluated
+        if noted and qt.mask is not None:
+            noted &= qt.mask  # only notifications *enabled* at the node
+        if noted:
+            notified = masks.notified_oids(noted)
+            lifted &= ~masks.afa_states(noted)
+        state = self.store.intern_bottom_mask(lifted)
+        entry = (state, notified)
+        qb.pop_table[pop_key] = entry
+        self.store.note_entries(1)
+        return entry
+
+    # The interpreted fallback (codegen requested but declined): the
+    # bitmask computes run unchanged, with a counter so operators can
+    # see a workload silently running interpreted.
+
+    def _compute_push_fallback(self, qt: XPushTopState, label: str) -> XPushTopState:
+        self.stats.codegen_fallbacks += 1
+        return self._compute_push_bitmask(qt, label)
+
+    def _compute_pop_fallback(
+        self,
+        qb: XPushState,
+        label: str,
+        qt: XPushTopState,
+        parent_qt: XPushTopState,
+        pop_key,
+    ) -> tuple[XPushState, frozenset[str]]:
+        self.stats.codegen_fallbacks += 1
+        return self._compute_pop_bitmask(qb, label, qt, parent_qt, pop_key)
 
     # ------------------------------------------------------------------
     # Driving the machine
@@ -656,6 +866,7 @@ class XPushMachine:
         stats.flushes, stats.evictions, stats.gc_states = flushes, evictions, gc_states
         stats.resident_bytes = self.store.resident_bytes
         stats.table_entries = self.store.table_entries
+        self._stamp_codegen_gauges()
         return count
 
     def reset_tables(self) -> None:

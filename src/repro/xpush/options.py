@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 #: State-set representations the machine can run with.
-RUNTIMES = ("bitmask", "sets")
+RUNTIMES = ("bitmask", "codegen", "sets")
 
 #: Memory-management policies applied when ``max_memory_bytes`` is crossed.
 EVICTION_POLICIES = ("clock", "flush")
@@ -49,11 +49,22 @@ class XPushOptions:
             compiled integer-bitmask tables built at workload
             ``finalize()`` — every cold-path set operation is a
             single-int bitwise op and states intern by their mask int.
-            ``"sets"`` is the frozenset/tuple reference implementation,
-            kept as the executable spec the bitmask runtime is
-            differentially tested against.  Answers are identical by
-            construction (and by test); this is purely a speed/memory
-            representation knob.
+            ``"codegen"`` goes one step further and runs transitions
+            through straight-line Python compiled per workload at first
+            use (:mod:`repro.afa.codegen`): per-label push/pop handlers
+            with the mask tables inlined as int literals and dead
+            branches elided.  ``"sets"`` is the frozenset/tuple
+            reference implementation, kept as the executable spec the
+            compiled runtimes are differentially tested against.
+            Answers are identical by construction (and by test); this
+            is purely a speed/memory representation knob.
+        codegen_max_handlers: upper bound on the number of functions
+            the ``"codegen"`` runtime may generate for one workload
+            (roughly three per distinct label).  A workload exceeding
+            the bound falls back to the bitmask runtime with a single
+            warning — never an error — so pathological label alphabets
+            cannot explode compile time or code size.  Ignored by the
+            other runtimes.
         max_states: memory management for unbounded streams (Theorem
             6.2 shows states grow linearly with the number of
             documents; Sec. 6: "we need some form of memory management
@@ -92,6 +103,7 @@ class XPushOptions:
     train: bool = False
     precompute_values: bool = True
     runtime: str = "bitmask"
+    codegen_max_handlers: int = 4096
     max_states: int | None = None
     max_memory_bytes: int | None = None
     eviction: str = "clock"
@@ -102,6 +114,8 @@ class XPushOptions:
             raise ValueError("early notification requires top-down pruning (Sec. 5)")
         if self.runtime not in RUNTIMES:
             raise ValueError(f"unknown runtime {self.runtime!r}; known: {sorted(RUNTIMES)}")
+        if self.codegen_max_handlers < 1:
+            raise ValueError("codegen_max_handlers must be positive")
         if self.max_states is not None and self.max_states < 1:
             raise ValueError("max_states must be positive")
         if self.max_memory_bytes is not None and self.max_memory_bytes < 1:

@@ -10,10 +10,14 @@ from untrusted storage: it is plain data validated on load).
 The lazily-built machine *states* are deliberately not persisted — they
 are a cache (Sec. 7's framing) and re-warm quickly; training (Sec. 5)
 exists precisely to rebuild them cheaply.  The same goes for the
-compiled bitmask tables (:class:`~repro.afa.automaton.CompiledMasks`):
-they are derived data, rebuilt deterministically by ``finalize()`` on
-load, so the JSON format needs no new fields and old snapshots keep
-loading under the bitmask runtime unchanged.
+compiled bitmask tables (:class:`~repro.afa.automaton.CompiledMasks`)
+and the codegen runtime's generated handler functions
+(:mod:`repro.afa.codegen`): both are derived data, rebuilt
+deterministically from the finalized workload on load, so the JSON
+format needs no new fields and old snapshots keep loading under every
+runtime unchanged.  (Engine-level snapshots additionally record which
+*runtime* was active so a restored engine rebuilds the same machine
+shape — but never the generated code itself.)
 
 Memory-manager state (the Sec. 6 watermark bookkeeping: resident-byte
 estimates, clock hands, reference bits) is likewise not persisted: it

@@ -82,7 +82,8 @@ class XPushState:
         "_sid_set",
         "pop_table",
         "add_table",
-        "accepts",
+        "_accepts",
+        "_masks",
         "contains_terminal",
     )
 
@@ -93,6 +94,7 @@ class XPushState:
         accepts: frozenset[str] = _EMPTY_OIDS,
         contains_terminal: bool = False,
         mask: int | None = None,
+        masks: CompiledMasks | None = None,
     ):
         self.uid = uid
         self.mask = mask  # int in the bitmask runtime, else None
@@ -104,8 +106,22 @@ class XPushState:
         self.pop_table: dict[Hashable, tuple["XPushState", frozenset[str]]] = {}
         # t_badd memo: other state uid -> resulting state
         self.add_table: dict[Hashable, "XPushState"] = {}
-        self.accepts = accepts  # t_accept, precomputed at intern time
+        # t_accept: precomputed for set-keyed states, lazy for mask-
+        # keyed ones — almost every interned state is intermediate and
+        # never asked for its accepts (only the document-root set is,
+        # at endDocument), so computing it per intern is wasted cold-
+        # path work.
+        self._accepts = accepts if masks is None else None
+        self._masks = masks
         self.contains_terminal = contains_terminal
+
+    @property
+    def accepts(self) -> frozenset[str]:
+        """t_accept — the oids of filters this set accepts."""
+        accepts = self._accepts
+        if accepts is None:
+            accepts = self._accepts = self._masks.accepted_oids(self.mask)
+        return accepts
 
     @property
     def sids(self) -> tuple[int, ...]:
@@ -451,9 +467,9 @@ class StateStore:
             masks = self._masks
             state = XPushState(
                 self._next_bottom_uid,
-                accepts=masks.accepted_oids(mask),
                 contains_terminal=bool(mask & masks.terminal_mask),
                 mask=mask,
+                masks=masks,
             )
             self._next_bottom_uid += 1
             self._bottom[mask] = state

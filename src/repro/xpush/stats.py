@@ -21,7 +21,10 @@ class MachineStats:
 
     ``resident_bytes`` and ``table_entries`` are *gauges* mirrored from
     the machine's :class:`~repro.xpush.state.StateStore` at every
-    document boundary (the other fields are cumulative counters).
+    document boundary; ``codegen_compile_ms`` and ``codegen_handlers``
+    are gauges stamped by the machine when the codegen runtime binds
+    its compiled handlers (re-stamped after ``reset()``).  The other
+    fields are cumulative counters.
     """
 
     events: int = 0
@@ -33,6 +36,9 @@ class MachineStats:
     add_computed: int = 0
     value_computed: int = 0
     push_computed: int = 0
+    codegen_compile_ms: float = 0.0  # gauge: one-time handler compile cost
+    codegen_handlers: int = 0  # gauge: compiled functions bound (codegen runtime)
+    codegen_fallbacks: int = 0  # transitions interpreted while codegen requested
     flushes: int = 0  # full table resets (max_states / eviction="flush")
     evictions: int = 0  # memo entries dropped by the clock sweep
     gc_states: int = 0  # states garbage-collected after eviction

@@ -1,0 +1,249 @@
+"""Unit wall for the codegen emitter (ISSUE 7).
+
+These tests pin the emitter contract directly, below the machine:
+handler counts match the plan, the generated source is real retained
+Python, every generated handler agrees with the interpreted
+:class:`CompiledMasks` tables it specialises (respecting the fused pop
+handlers' ``qb ⊆ P`` contract), and the fallback boundary is exact —
+one warning, never a hard error.  The machine-level three-way answers
+wall lives in ``tests/xpush/test_runtime_differential.py``.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from repro.afa.build import build_workload_automata
+from repro.afa.codegen import (
+    CHUNK_BITS,
+    CHUNK_TABLE_LIMIT,
+    CodegenUnsupported,
+    _chunk_builder,
+    compile_handlers,
+    planned_handler_count,
+)
+from repro.errors import WorkloadError
+from repro.xpath.parser import parse_workload
+
+from tests.conftest import make_workload
+
+
+def compiled(sources: dict[str, str]):
+    workload = build_workload_automata(parse_workload(sources)).finalize()
+    return workload, compile_handlers(workload)
+
+
+def generated_workload(dataset, count, seed=0, **kwargs):
+    workload = build_workload_automata(make_workload(dataset, count, seed, **kwargs))
+    return workload.finalize()
+
+
+# ---------------------------------------------------------------------------
+# Shape: counts, source, retained metadata
+# ---------------------------------------------------------------------------
+
+
+def test_handler_count_matches_plan(protein):
+    workload = generated_workload(protein, 40, seed=1)
+    handlers = compile_handlers(workload)
+    assert handlers.handler_count == planned_handler_count(workload.masks)
+    assert handlers.compile_ms > 0.0
+
+
+def test_source_is_retained_and_structured():
+    _, handlers = compiled({"q0": "//a[b = 1]", "q1": "/x/*[@id = 'v']"})
+    source = handlers.dump_source()
+    assert source is handlers.source
+    assert "def _pop_" in source
+    assert "def _push_" in source
+    assert "def _eval(" in source
+    # Mask constants are baked in as int literals, not table lookups.
+    assert "0x" in source
+
+
+def test_source_compiles_standalone():
+    """The dumped source is complete: exec'ing it (with the lazily
+    bound tables stripped of defaults) must at least parse."""
+    _, handlers = compiled({"q0": "//a[b = 1]"})
+    compile(handlers.source, "<test>", "exec")
+
+
+def test_empty_workload_compiles():
+    workload = build_workload_automata([]).finalize()
+    handlers = compile_handlers(workload)
+    assert handlers.pop_elem_default(0) == 0
+    assert handlers.eval_closure(0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Differential: generated handlers vs the interpreted mask tables
+# ---------------------------------------------------------------------------
+
+
+def possible_mask(masks) -> int:
+    """The fused pop handlers' input contract P: terminal bits, push-row
+    source bits, and top rows (what a real qb can contain)."""
+    possible = masks.terminal_mask
+    for sources_mask, _table, _union in masks.push_rows().values():
+        possible |= sources_mask
+    for row in masks.top_rows().values():
+        possible |= row
+    return possible
+
+
+def random_submasks(full: int, rng: random.Random, count: int):
+    bits = [1 << i for i in range(full.bit_length()) if full >> i & 1]
+    yield 0
+    yield full
+    for _ in range(count):
+        chosen = rng.sample(bits, rng.randint(0, len(bits)))
+        yield sum(chosen)
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_generated_handlers_match_masks(protein, seed):
+    workload = generated_workload(protein, 30, seed=seed)
+    masks = workload.masks
+    handlers = compile_handlers(workload)
+    rng = random.Random(seed)
+    full = (1 << workload.state_count) - 1
+    possible = possible_mask(masks)
+
+    for mask in random_submasks(full, rng, 40):
+        assert handlers.eval_closure(mask) == masks.eval_closure(mask)
+
+    labels = sorted(set(masks.rev_rows()) | set(masks.push_rows()) | {"zz", "@zz"})
+    for label in labels:
+        is_attr = label.startswith("@")
+        push = handlers.push.get(label) or (
+            handlers.push_attr_default if is_attr else handlers.push_elem_default
+        )
+        pop = handlers.pop.get(label) or (
+            handlers.pop_attr_default if is_attr else handlers.pop_elem_default
+        )
+        pop_ev = handlers.pop_ev.get(label) or (
+            handlers.pop_ev_attr_default if is_attr else handlers.pop_ev_elem_default
+        )
+        for mask in random_submasks(full, rng, 25):
+            assert push(mask) == masks.push_targets_closure(mask, label, is_attr)
+            evaluated = masks.eval_closure(mask)
+            assert pop_ev(evaluated) == masks.delta_inverse(evaluated, label, is_attr)
+            qb = mask & possible  # the fused handler's qb ⊆ P contract
+            assert pop(qb) == masks.delta_inverse(
+                masks.eval_closure(qb), label, is_attr
+            )
+
+
+def test_not_heavy_workload_matches_masks(protein):
+    """NOT-heavy connective DAGs exercise the non-foldable statement
+    path (xN assignments) rather than the swept tables."""
+    workload = generated_workload(protein, 20, seed=5, prob_not=0.6, prob_nested=0.4)
+    masks = workload.masks
+    handlers = compile_handlers(workload)
+    rng = random.Random(5)
+    full = (1 << workload.state_count) - 1
+    for mask in random_submasks(full, rng, 60):
+        assert handlers.eval_closure(mask) == masks.eval_closure(mask)
+
+
+def test_dense_and_sparse_pop_inputs_agree(protein):
+    """The large-union pop sweep picks per call between a per-bit scan
+    (sparse masks) and a chunked window scan (dense masks); both
+    paths must agree with the interpreted tables."""
+    workload = generated_workload(protein, 400, seed=11, mean_predicates=1.15)
+    masks = workload.masks
+    handlers = compile_handlers(workload)
+    possible = possible_mask(masks)
+    label = max(masks.rev_rows(), key=lambda lb: len(masks.rev_rows()[lb]))
+    pop = handlers.pop.get(label) or handlers.pop_elem_default
+    rng = random.Random(11)
+    bits = [1 << i for i in range(possible.bit_length()) if possible >> i & 1]
+
+    def check(qb):
+        assert pop(qb) == masks.delta_inverse(
+            masks.eval_closure(qb), label, label.startswith("@")
+        )
+
+    check(possible)  # densest possible input -> chunked windows
+    for size in (1, 2, 5):  # sparse inputs -> per-bit scan
+        for _ in range(10):
+            check(sum(rng.sample(bits, min(size, len(bits)))))
+    for _ in range(10):  # mid-density inputs straddle the cutover
+        check(sum(rng.sample(bits, len(bits) // 2)))
+
+
+def test_chunk_builder_is_idempotent_and_bounded():
+    per_bit = {1 << i: 1 << (i + 10) for i in range(8)}
+    table: dict = {}
+    build = _chunk_builder(table, per_bit)
+    key = (0 << CHUNK_BITS) | 0b10110000  # window 0, pattern with 3 bits
+
+    first = build(key)
+    assert first == per_bit[0b10000000] | per_bit[0b00100000] | per_bit[0b00010000]
+    assert table[key] == first
+    assert build(key) == first  # built once, then served from the table
+
+    # Overflow clears the table instead of growing without bound.
+    for i in range(CHUNK_TABLE_LIMIT):
+        table[-i - 1] = 0
+    build((1 << CHUNK_BITS) | 0b1)
+    assert len(table) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Fallback boundary
+# ---------------------------------------------------------------------------
+
+
+def test_fallback_boundary_is_exact(protein):
+    workload = generated_workload(protein, 25, seed=2)
+    planned = planned_handler_count(workload.masks)
+    assert compile_handlers(workload, planned).handler_count == planned
+    with pytest.raises(CodegenUnsupported):
+        compile_handlers(workload, planned - 1)
+
+
+def test_workload_fallback_warns_once_and_caches(protein):
+    workload = generated_workload(protein, 25, seed=2)
+    planned = planned_handler_count(workload.masks)
+    with pytest.warns(RuntimeWarning, match="falling back to the bitmask"):
+        assert workload.compiled_handlers(planned - 1) is None
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a second warning would raise
+        assert workload.compiled_handlers(planned - 1) is None
+    # The bound is part of the cache key: a permissive bound still works.
+    handlers = workload.compiled_handlers(planned)
+    assert handlers is not None
+    assert workload.compiled_handlers(planned) is handlers
+
+
+def test_machine_falls_back_with_identical_answers(protein, protein_docs):
+    from repro.xpush.machine import XPushMachine
+    from repro.xpush.options import XPushOptions
+
+    filters = make_workload(protein, 18, seed=8)
+    reference = XPushMachine(
+        build_workload_automata(filters), XPushOptions(runtime="bitmask")
+    )
+    with pytest.warns(RuntimeWarning):
+        declined = XPushMachine(
+            build_workload_automata(filters),
+            XPushOptions(runtime="codegen", codegen_max_handlers=1),
+        )
+    docs = protein_docs[:6]
+    assert [declined.filter_document(d) for d in docs] == [
+        reference.filter_document(d) for d in docs
+    ]
+    assert declined.stats.codegen_fallbacks > 0
+    assert declined.stats.codegen_handlers == 0
+    assert declined.dump_source() is None
+
+
+def test_unfinalized_workload_is_rejected():
+    workload = build_workload_automata(parse_workload({"q0": "//a"}))
+    workload.masks = None  # simulate a never-finalized workload
+    with pytest.raises(WorkloadError, match="finalize"):
+        workload.compiled_handlers()

@@ -1,11 +1,14 @@
-"""Differential wall for the two machine runtimes (ISSUE 3).
+"""Differential wall for the three machine runtimes (ISSUES 3, 7).
 
 The ``"sets"`` runtime is the executable spec; the compiled
-``"bitmask"`` runtime must produce byte-identical answers — same oids
-per document — for every optimisation combination, on generated
-workloads over both datasets, on hypothesis-generated workloads and
-documents, after a persist round-trip, and through the sharded engine.
-Any divergence is a bug in the compiled tables, never a judgement call.
+``"bitmask"`` runtime and the workload-specialized ``"codegen"``
+runtime must produce byte-identical answers — same oids per document —
+for every optimisation combination, on generated workloads over both
+datasets, on hypothesis-generated workloads and documents, under
+memory-bounded eviction, after a persist round-trip, through layered
+updates at every epoch, and through the sharded engine.  Any
+divergence is a bug in the compiled tables or the generated handlers,
+never a judgement call.
 """
 
 from __future__ import annotations
@@ -27,38 +30,46 @@ from tests.xpush.test_differential import ALL_OPTION_COMBOS
 
 import hypothesis.strategies as st
 
-
-def both_runtimes(options: XPushOptions) -> tuple[XPushOptions, XPushOptions]:
-    return (
-        replace(options, runtime="bitmask"),
-        replace(options, runtime="sets"),
-    )
+#: The reference runtime first; every other runtime is diffed against it.
+RUNTIMES_UNDER_TEST = ("sets", "bitmask", "codegen")
 
 
-def run_both(filters, options, docs, dtd=None):
-    """(bitmask answers, sets answers) for the same workload and docs."""
-    out = []
-    for opts in both_runtimes(options):
-        machine = XPushMachine(build_workload_automata(filters), opts, dtd=dtd)
-        out.append([machine.filter_document(doc) for doc in docs])
+def all_runtimes(options: XPushOptions) -> tuple[XPushOptions, ...]:
+    return tuple(replace(options, runtime=r) for r in RUNTIMES_UNDER_TEST)
+
+
+def run_all(filters, options, docs, dtd=None) -> dict[str, list]:
+    """``runtime → answers`` for the same workload and documents."""
+    workload = build_workload_automata(filters)
+    out = {}
+    for opts in all_runtimes(options):
+        machine = XPushMachine(workload, opts, dtd=dtd)
+        out[opts.runtime] = [machine.filter_document(doc) for doc in docs]
     return out
+
+
+def assert_all_agree(answers: dict[str, list]) -> list:
+    reference = answers["sets"]
+    for runtime, got in answers.items():
+        assert got == reference, f"runtime {runtime!r} diverged from sets"
+    return reference
 
 
 @pytest.mark.parametrize("options", ALL_OPTION_COMBOS, ids=lambda o: o.describe())
 def test_runtimes_agree_and_match_reference_protein(options, protein, protein_docs):
     filters = make_workload(protein, 35, seed=101)
-    bitmask, sets = run_both(filters, options, protein_docs, dtd=protein.dtd)
-    assert bitmask == sets
-    assert bitmask == [matching_oids(filters, doc) for doc in protein_docs]
+    answers = run_all(filters, options, protein_docs, dtd=protein.dtd)
+    reference = assert_all_agree(answers)
+    assert reference == [matching_oids(filters, doc) for doc in protein_docs]
 
 
 @pytest.mark.parametrize("options", ALL_OPTION_COMBOS, ids=lambda o: o.describe())
 def test_runtimes_agree_on_recursive_nasa(options, nasa, nasa_docs):
     filters = make_workload(nasa, 25, seed=17, prob_descendant=0.3)
     docs = nasa_docs[:10]
-    bitmask, sets = run_both(filters, options, docs, dtd=nasa.dtd)
-    assert bitmask == sets
-    assert bitmask == [matching_oids(filters, doc) for doc in docs]
+    answers = run_all(filters, options, docs, dtd=nasa.dtd)
+    reference = assert_all_agree(answers)
+    assert reference == [matching_oids(filters, doc) for doc in docs]
 
 
 @pytest.mark.parametrize("name", sorted(VARIANTS), ids=str)
@@ -66,45 +77,67 @@ def test_named_variants_agree_across_runtimes(name, protein, protein_docs):
     options = VARIANTS[name]
     filters = make_workload(protein, 20, seed=name.__hash__() % 1000)
     docs = protein_docs[:10]
-    bitmask, sets = run_both(filters, options, docs, dtd=protein.dtd)
-    assert bitmask == sets
+    assert_all_agree(run_all(filters, options, docs, dtd=protein.dtd))
 
 
 def test_runtimes_build_identical_state_structure(protein, protein_docs):
-    """Beyond answers: both runtimes materialise the same state lattice
+    """Beyond answers: all runtimes materialise the same state lattice
     (count and per-state sid sets), so every Fig. 6/7 measurement is
     representation-independent."""
     filters = make_workload(protein, 30, seed=77)
-    machines = [
-        XPushMachine(build_workload_automata(filters), opts)
-        for opts in both_runtimes(XPushOptions())
-    ]
+    workload = build_workload_automata(filters)
+    machines = [XPushMachine(workload, opts) for opts in all_runtimes(XPushOptions())]
     for machine in machines:
         for doc in protein_docs[:10]:
             machine.filter_document(doc)
-    a, b = machines
-    assert a.state_count == b.state_count
-    assert a.average_state_size == b.average_state_size
-    assert sorted(s.sids for s in a.store.bottom_states()) == sorted(
-        s.sids for s in b.store.bottom_states()
-    )
+    reference = machines[0]
+    for machine in machines[1:]:
+        assert machine.state_count == reference.state_count
+        assert machine.average_state_size == reference.average_state_size
+        assert sorted(s.sids for s in machine.store.bottom_states()) == sorted(
+            s.sids for s in reference.store.bottom_states()
+        )
 
 
 def test_stats_counters_agree_across_runtimes(protein, protein_docs):
     filters = make_workload(protein, 30, seed=31)
     options = XPushOptions(top_down=True, early=True, precompute_values=False)
+    workload = build_workload_automata(filters)
     machines = [
-        XPushMachine(build_workload_automata(filters), opts, dtd=protein.dtd)
-        for opts in both_runtimes(options)
+        XPushMachine(workload, opts, dtd=protein.dtd) for opts in all_runtimes(options)
     ]
     for machine in machines:
         for doc in protein_docs[:10]:
             machine.filter_document(doc)
-    a, b = machines
-    assert (a.stats.events, a.stats.documents) == (b.stats.events, b.stats.documents)
-    assert a.stats.pop_computed == b.stats.pop_computed
-    assert a.stats.push_computed == b.stats.push_computed
-    assert a.stats.hit_ratio == b.stats.hit_ratio
+    reference = machines[0]
+    for machine in machines[1:]:
+        assert (machine.stats.events, machine.stats.documents) == (
+            reference.stats.events,
+            reference.stats.documents,
+        )
+        assert machine.stats.pop_computed == reference.stats.pop_computed
+        assert machine.stats.push_computed == reference.stats.push_computed
+        assert machine.stats.hit_ratio == reference.stats.hit_ratio
+
+
+def test_codegen_stats_gauges_are_stamped(protein, protein_docs):
+    """The codegen machine reports its compile cost and handler count;
+    the other runtimes report zeros (the counters exist everywhere so
+    service/serving stats stay uniform)."""
+    filters = make_workload(protein, 20, seed=3)
+    workload = build_workload_automata(filters)
+    for opts in all_runtimes(XPushOptions()):
+        machine = XPushMachine(workload, opts)
+        machine.filter_document(protein_docs[0])
+        if opts.runtime == "codegen":
+            assert machine.stats.codegen_handlers > 0
+            assert machine.stats.codegen_compile_ms > 0.0
+            assert machine.dump_source() is not None
+        else:
+            assert machine.stats.codegen_handlers == 0
+            assert machine.stats.codegen_compile_ms == 0.0
+            assert machine.dump_source() is None
+        assert machine.stats.codegen_fallbacks == 0
 
 
 @given(gen_workloads(), st.lists(gen_documents, min_size=1, max_size=3))
@@ -113,9 +146,9 @@ def test_hypothesis_runtimes_agree_basic(workload, docs):
     docs = [doc for doc in docs if not doc.has_mixed_content()]
     if not docs:
         return
-    bitmask, sets = run_both(workload, XPushOptions(), docs)
-    assert bitmask == sets
-    assert bitmask == [matching_oids(workload, doc) for doc in docs]
+    answers = run_all(workload, XPushOptions(), docs)
+    reference = assert_all_agree(answers)
+    assert reference == [matching_oids(workload, doc) for doc in docs]
 
 
 @given(gen_workloads(), st.lists(gen_documents, min_size=1, max_size=3))
@@ -125,14 +158,34 @@ def test_hypothesis_runtimes_agree_top_down_early(workload, docs):
     if not docs:
         return
     options = XPushOptions(top_down=True, early=True, precompute_values=False)
-    bitmask, sets = run_both(workload, options, docs)
-    assert bitmask == sets
-    assert bitmask == [matching_oids(workload, doc) for doc in docs]
+    answers = run_all(workload, options, docs)
+    reference = assert_all_agree(answers)
+    assert reference == [matching_oids(workload, doc) for doc in docs]
 
 
-def test_persist_round_trip_under_bitmask_runtime(protein, protein_docs, tmp_path):
-    """Snapshots carry no compiled tables; ``finalize()`` on load must
-    rebuild masks that behave identically to the originals."""
+def test_memory_bounded_eviction_agrees_across_runtimes(protein, protein_docs):
+    """A tight memory bound exercises the CLOCK sweep mid-stream; the
+    recomputed (post-eviction) transitions must agree runtime-to-
+    runtime just like the first-time ones."""
+    filters = make_workload(protein, 30, seed=13)
+    options = XPushOptions(
+        top_down=True, precompute_values=False, max_memory_bytes=64 * 1024
+    )
+    answers = run_all(filters, options, protein_docs, dtd=protein.dtd)
+    reference = assert_all_agree(answers)
+    assert reference == [matching_oids(filters, doc) for doc in protein_docs]
+    machine = XPushMachine(
+        build_workload_automata(filters), replace(options, runtime="codegen")
+    )
+    for doc in protein_docs:
+        machine.filter_document(doc)
+    assert machine.stats.evictions > 0 or machine.stats.flushes > 0
+
+
+def test_persist_round_trip_under_every_runtime(protein, protein_docs, tmp_path):
+    """Snapshots carry no compiled tables and no generated code;
+    ``finalize()`` on load must rebuild masks — and the codegen machine
+    must recompile handlers — that behave identically to the originals."""
     import io
 
     from repro.xpush.persist import load_workload, save_workload
@@ -144,11 +197,101 @@ def test_persist_round_trip_under_bitmask_runtime(protein, protein_docs, tmp_pat
     buffer.seek(0)
     reloaded = load_workload(buffer)
     assert reloaded.masks is not None
-    for options in both_runtimes(XPushOptions(top_down=True, precompute_values=False)):
+    for options in all_runtimes(XPushOptions(top_down=True, precompute_values=False)):
         a = XPushMachine(original, options)
         b = XPushMachine(reloaded, options)
         for doc in protein_docs[:10]:
             assert a.filter_document(doc) == b.filter_document(doc)
+
+
+def test_engine_snapshot_restores_codegen_runtime(protein, protein_docs, tmp_path):
+    """Engine snapshots record the runtime; a restored engine rebuilds
+    (and recompiles) under the same runtime it was captured with."""
+    from repro.engine.config import EngineConfig
+    from repro.engine.serial import SerialXPushEngine
+
+    filters = make_workload(protein, 15, seed=6)
+    config = EngineConfig(options=XPushOptions(runtime="codegen"))
+    engine = SerialXPushEngine(filters, config)
+    expected = [engine.filter_document(doc) for doc in protein_docs[:5]]
+    snapshot = engine.snapshot()
+    assert snapshot["runtime"] == "codegen"
+
+    restored = SerialXPushEngine([], EngineConfig())
+    restored.restore(snapshot)
+    assert restored.config.options.runtime == "codegen"
+    assert [restored.filter_document(d) for d in protein_docs[:5]] == expected
+    assert restored.stats()["codegen_handlers"] > 0
+
+
+def test_layered_updates_agree_at_every_epoch(protein, protein_docs):
+    """Drive the same insert/remove sequence through a layered engine
+    per runtime and diff the answers after *every* update epoch.  Under
+    codegen only the delta layer recompiles: the base machine's handler
+    object must stay the same across epochs."""
+    from repro.xpush.layered import LayeredFilterEngine
+
+    filters = make_workload(protein, 24, seed=9)
+    base, updates = filters[:12], filters[12:]
+    docs = protein_docs[:6]
+    engines = {
+        opts.runtime: LayeredFilterEngine(
+            base, options=opts, compact_threshold=1_000
+        )
+        for opts in all_runtimes(XPushOptions(top_down=True, precompute_values=False))
+    }
+    codegen_engine = engines["codegen"]
+    assert codegen_engine._base is not None
+    base_handlers = codegen_engine._base._handlers
+    assert base_handlers is not None
+
+    def check_epoch():
+        per_runtime = {
+            runtime: [engine.filter_document(doc) for doc in docs]
+            for runtime, engine in engines.items()
+        }
+        assert_all_agree(per_runtime)
+
+    check_epoch()
+    for index, inserted in enumerate(updates):
+        for engine in engines.values():
+            engine.insert(inserted.oid, inserted.source)
+        if index == 2:
+            removed = base[0].oid
+            for engine in engines.values():
+                engine.remove(removed)
+        check_epoch()
+        # Only the delta layer was rebuilt: base handlers are reused
+        # by identity, and the delta has its own compiled handlers.
+        assert codegen_engine._base._handlers is base_handlers
+        assert codegen_engine._delta is not None
+        assert codegen_engine._delta._handlers is not None
+        assert codegen_engine._delta._handlers is not base_handlers
+    stats = engines["codegen"].stats()
+    assert stats["runtime"] == "codegen"
+    assert stats["codegen_handlers"] > 0
+
+
+def test_layered_snapshot_round_trip_under_codegen(protein, protein_docs):
+    from repro.xpush.layered import LayeredFilterEngine
+
+    filters = make_workload(protein, 16, seed=29)
+    engine = LayeredFilterEngine(
+        filters[:10],
+        options=XPushOptions(runtime="codegen"),
+        compact_threshold=1_000,
+    )
+    for f in filters[10:]:
+        engine.insert(f.oid, f.source)
+    docs = protein_docs[:5]
+    expected = [engine.filter_document(doc) for doc in docs]
+    snapshot = engine.snapshot()
+    assert snapshot["runtime"] == "codegen"
+
+    restored = LayeredFilterEngine([], options=XPushOptions())
+    restored.restore(snapshot)
+    assert restored.options.runtime == "codegen"
+    assert [restored.filter_document(doc) for doc in docs] == expected
 
 
 @pytest.mark.parametrize("shards", [2, 3, 4])
@@ -157,27 +300,29 @@ def test_sharded_engine_agrees_across_runtimes(shards, protein, protein_docs):
 
     filters = make_workload(protein, 24, seed=71)
     docs = protein_docs[:8]
-    answers = []
-    for options in both_runtimes(XPushOptions(top_down=True, precompute_values=False)):
+    answers = {}
+    for options in all_runtimes(XPushOptions(top_down=True, precompute_values=False)):
         with ShardedFilterEngine(
             filters, shards, options=options, parallel=False, batch_size=3
         ) as engine:
-            answers.append(engine.filter_batch(docs))
+            answers[options.runtime] = engine.filter_batch(docs)
             assert engine.stats()["runtime"] == options.runtime
-    assert answers[0] == answers[1]
-    assert answers[0] == [matching_oids(filters, doc) for doc in docs]
+    reference = assert_all_agree(answers)
+    assert reference == [matching_oids(filters, doc) for doc in docs]
 
 
-def test_sharded_worker_processes_under_bitmask(protein, protein_docs):
+def test_sharded_worker_processes_under_codegen(protein, protein_docs):
     """Options (and so the runtime) pickle into the shard worker
-    payloads; the parallel path must agree with ground truth too."""
+    payloads; each worker recompiles its shard's handlers locally and
+    the parallel path must agree with ground truth too."""
     from repro.service import ShardedFilterEngine
 
     filters = make_workload(protein, 16, seed=5)
     docs = protein_docs[:6]
     expected = [matching_oids(filters, doc) for doc in docs]
     with ShardedFilterEngine(
-        filters, 2, options=XPushOptions(top_down=True, precompute_values=False),
+        filters, 2,
+        options=XPushOptions(top_down=True, precompute_values=False, runtime="codegen"),
         batch_size=3, warm=False,
     ) as engine:
         if not engine.parallel:
@@ -186,12 +331,12 @@ def test_sharded_worker_processes_under_bitmask(protein, protein_docs):
 
 
 def test_reset_tables_clears_early_notifications(protein):
-    """Satellite 1: ``reset_tables`` must drop in-flight early
-    notifications; a stale ``_early`` set would leak oids into the next
-    document's answer after a mid-stream flush."""
+    """``reset_tables`` must drop in-flight early notifications; a
+    stale ``_early`` set would leak oids into the next document's
+    answer after a mid-stream flush."""
     filters = make_workload(protein, 12, seed=23)
     options = XPushOptions(top_down=True, early=True, precompute_values=False)
-    for opts in both_runtimes(options):
+    for opts in all_runtimes(options):
         machine = XPushMachine(build_workload_automata(filters), opts)
         machine.start_document()
         machine._early.add("ghost-oid")
@@ -199,9 +344,9 @@ def test_reset_tables_clears_early_notifications(protein):
         assert machine._early == set()
 
 
-def test_reset_tables_round_trips_both_runtimes(protein, protein_docs):
+def test_reset_tables_round_trips_all_runtimes(protein, protein_docs):
     filters = make_workload(protein, 20, seed=61)
-    for opts in both_runtimes(XPushOptions()):
+    for opts in all_runtimes(XPushOptions()):
         machine = XPushMachine(build_workload_automata(filters), opts)
         before = [machine.filter_document(doc) for doc in protein_docs[:6]]
         machine.reset_tables()
