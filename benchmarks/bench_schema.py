@@ -1,0 +1,355 @@
+"""Schema-aware specialization throughput (DTD × AFA pruning).
+
+A broker serving many content feeds carries one merged workload, but
+each feed conforms to *its own* DTD — so against any one stream, the
+queries written for the other feeds are dead weight the runtime still
+pays for on every cold transition.  Schema specialization
+(:mod:`repro.afa.schema`) deletes exactly that weight at compile time:
+label edges the DTD cannot produce, AFA states no longer forward-
+reachable, and (for non-recursive DTDs) the unbounded element stack.
+
+This bench reproduces that regime: a **mixed workload** (native
+queries + an equal number of foreign-dataset queries) filtered against
+the native stream, per dataset:
+
+- **protein** — non-recursive DTD: pruning *and* the preallocated
+  depth-bounded stack;
+- **nasa** / **auction** — recursive DTDs: label/state pruning only.
+
+Per dataset, each compiled runtime (``bitmask``, ``codegen``) runs
+under ``schema_mode`` off / trust / validate on the same stream:
+
+- **cold** — ``reset_tables()`` before every document, isolating the
+  miss-path compute the pruned masks shrink;
+- **warm** — a second pass with tables intact (hits dominate; the
+  modes should converge).
+
+Answers are asserted identical across every (runtime, mode) cell — a
+perf run that diverges is a bug, not a number.  ``validate`` rows also
+prove the checking overhead is visible and bounded.
+
+Entry points:
+
+- ``python benchmarks/bench_schema.py [--quick] [--json PATH]`` — the
+  CI smoke test.  ``--quick`` runs the protein scenario only and
+  **fails** unless schema-pruned bitmask cold throughput is at least
+  the unpruned bitmask's (a host-independent relative gate).
+- ``pytest benchmarks/bench_schema.py`` — pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+
+from repro.afa.build import build_workload_automata
+from repro.bench.workloads import scaled
+from repro.xmlstream.dom import parse_forest
+from repro.xmlstream.parser import count_bytes
+from repro.xpath.generator import GeneratorConfig, QueryGenerator
+from repro.xpath.parser import parse_xpath
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import XPushOptions
+
+TD = XPushOptions(top_down=True, precompute_values=False)
+
+#: The acceptance gate (``--quick``): pruned bitmask cold-path time
+#: must not exceed the unpruned bitmask's on the protein scenario.
+QUICK_GATE_SPEEDUP = 1.0
+
+RUNTIMES = ("bitmask", "codegen")
+MODES = ("off", "trust", "validate")
+
+#: scenario name -> foreign dataset whose queries pad the workload.
+SCENARIOS = {"protein": "nasa", "nasa": "protein", "auction": "protein"}
+
+
+def _dataset(name: str, seed: int = 0):
+    if name == "protein":
+        from repro.data import ProteinDataset
+
+        return ProteinDataset(seed=seed)
+    if name == "nasa":
+        from repro.data import NasaDataset
+
+        return NasaDataset(seed=seed)
+    from repro.data import AuctionDataset
+
+    return AuctionDataset(seed=seed)
+
+
+def _queries(dataset, count: int, seed: int):
+    # Rich predicate structure on purpose: not()/or/nested predicate
+    # states participate in every element's bottom-up evaluation (NOT
+    # fires on absence), so a foreign query's machine costs real work
+    # on every stream — exactly the work schema pruning deletes.
+    config = GeneratorConfig(
+        seed=seed,
+        mean_predicates=2.5,
+        prob_or=0.15,
+        prob_not=0.1,
+        prob_nested=0.15,
+        prob_inequality=0.25,
+        prob_descendant=0.1,
+        prob_wildcard=0.05,
+        prob_attribute_predicate=0.3,
+        path_depth_min=2,
+        path_depth_max=4,
+    )
+    return QueryGenerator(dataset.dtd, dataset.value_pool, config).generate(count)
+
+
+def mixed_workload(native, foreign, per_side: int, foreign_factor: int = 1):
+    """*per_side* native queries + *per_side* × *foreign_factor* foreign
+    queries under one oid space — the broker regime where the native DTD
+    can prune the foreign share's states."""
+    filters = list(_queries(native, per_side, seed=3))
+    for index, f in enumerate(_queries(foreign, per_side * foreign_factor, seed=7)):
+        filters.append(parse_xpath(f.source, f"x{index}"))
+    return filters
+
+
+def _measure(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _run_one(workload, options, documents, dtd, repeats: int) -> dict:
+    machine = XPushMachine(workload, options, dtd=dtd)
+    answers: list = []
+
+    def cold_pass():
+        answers.clear()
+        for document in documents:
+            machine.reset_tables()
+            answers.append(machine.filter_document(document))
+        machine.clear_results()
+
+    cold_pass()  # warm the allocator/index caches, not the tables
+    cold_seconds = _measure(cold_pass, repeats)
+    cold_answers = list(answers)
+
+    def warm_pass():
+        answers.clear()
+        for document in documents:
+            answers.append(machine.filter_document(document))
+        machine.clear_results()
+
+    warm_pass()  # build the tables once
+    warm_seconds = _measure(warm_pass, repeats)
+    warm_answers = list(answers)
+
+    n_docs = len(documents)
+    return {
+        "cold": {
+            "seconds": round(cold_seconds, 4),
+            "docs_per_s": round(n_docs / cold_seconds, 1),
+        },
+        "warm": {
+            "seconds": round(warm_seconds, 4),
+            "docs_per_s": round(n_docs / warm_seconds, 1),
+        },
+        "answers": {"cold": cold_answers, "warm": warm_answers},
+        "schema_pruned_states": machine.stats.schema_pruned_states,
+        "schema_pruned_edges": machine.stats.schema_pruned_edges,
+        "schema_fallbacks": machine.stats.schema_fallbacks,
+        "stack_bound": machine._stack_bound,
+    }
+
+
+def run_scenario(
+    name: str, per_side: int, stream_bytes: int, repeats: int,
+    foreign_factor: int = 1, out=sys.stdout
+) -> dict:
+    native = _dataset(name)
+    foreign = _dataset(SCENARIOS[name])
+    filters = mixed_workload(native, foreign, per_side, foreign_factor)
+    workload = build_workload_automata(filters)
+    stream = native.stream_of_bytes(stream_bytes)
+    documents = parse_forest(stream)
+    megabytes = count_bytes(stream) / 1e6
+    print(
+        f"\n[{name}] {megabytes:.2f} MB, {len(documents)} documents | "
+        f"{len(filters)} filters ({per_side} native + "
+        f"{per_side * foreign_factor} {SCENARIOS[name]}) | "
+        f"{workload.state_count} AFA states",
+        file=out,
+    )
+    header = (
+        f"{'runtime':>9}{'mode':>10} | {'cold s':>8}{'docs/s':>9} | "
+        f"{'warm s':>8}{'docs/s':>9} | {'pruned':>13}{'fallbacks':>10}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    cells: dict = {}
+    for runtime in RUNTIMES:
+        for mode in MODES:
+            options = replace(TD, runtime=runtime, schema_mode=mode)
+            measured = _run_one(workload, options, documents, native.dtd, repeats)
+            cells[(runtime, mode)] = measured
+            cold, warm = measured["cold"], measured["warm"]
+            pruned = (
+                f"{measured['schema_pruned_states']}s/"
+                f"{measured['schema_pruned_edges']}e"
+                if mode != "off"
+                else "-"
+            )
+            print(
+                f"{runtime:>9}{mode:>10} | {cold['seconds']:>8.3f}"
+                f"{cold['docs_per_s']:>9.1f} | {warm['seconds']:>8.3f}"
+                f"{warm['docs_per_s']:>9.1f} | {pruned:>13}"
+                f"{measured['schema_fallbacks']:>10}",
+                file=out,
+            )
+    reference = cells[("bitmask", "off")]["answers"]
+    for (runtime, mode), measured in cells.items():
+        if measured["answers"] != reference:
+            raise SystemExit(
+                f"FATAL: {runtime}/{mode} diverged from bitmask/off on {name}"
+            )
+    speedups = {
+        runtime: {
+            regime: round(
+                cells[(runtime, "off")][regime]["seconds"]
+                / cells[(runtime, "trust")][regime]["seconds"],
+                2,
+            )
+            for regime in ("cold", "warm")
+        }
+        for runtime in RUNTIMES
+    }
+    for runtime in RUNTIMES:
+        print(
+            f"{'':>9}{'trust/off':>10} | {runtime}: cold "
+            f"x{speedups[runtime]['cold']:.2f}, warm "
+            f"x{speedups[runtime]['warm']:.2f}, answers identical",
+            file=out,
+        )
+    trust = cells[("bitmask", "trust")]
+    result = {
+        "stream_mb": round(megabytes, 3),
+        "documents": len(documents),
+        "filters": len(filters),
+        "afa_states": workload.state_count,
+        "pruned_states": trust["schema_pruned_states"],
+        "pruned_edges": trust["schema_pruned_edges"],
+        "stack_bound": trust["stack_bound"],
+        "speedup_trust_vs_off": speedups,
+        "cells": {},
+    }
+    for (runtime, mode), measured in cells.items():
+        measured.pop("answers")
+        result["cells"][f"{runtime}/{mode}"] = measured
+    return result
+
+
+def run(
+    scenarios, per_side: int, stream_bytes: int, repeats: int,
+    foreign_factor: int = 1,
+) -> dict:
+    results: dict = {
+        "per_side_queries": per_side,
+        "foreign_factor": foreign_factor,
+        "repeats": repeats,
+        "scenarios": {},
+    }
+    for name in scenarios:
+        results["scenarios"][name] = run_scenario(
+            name, per_side, stream_bytes, repeats, foreign_factor
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: protein scenario only + gate "
+                             "(pruned bitmask cold >= unpruned bitmask cold)")
+    parser.add_argument("--scenarios", nargs="+", choices=sorted(SCENARIOS),
+                        help="datasets to run (default: all three)")
+    parser.add_argument("--queries", type=int, default=250,
+                        help="queries per workload side (native / foreign)")
+    parser.add_argument("--bytes", type=int, default=400_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--foreign-factor", type=int, default=1,
+                        help="foreign queries per native query")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the measurements as JSON")
+    args = parser.parse_args(argv)
+    if args.quick:
+        # Foreign-heavy on purpose: the broker regime where most
+        # subscriptions target other feeds is where pruning has a
+        # robust margin for a >= 1.0 gate; balanced mixes hover at
+        # x1.0-1.1 (see BENCH_schema.json for the symmetric numbers).
+        scenarios = ("protein",)
+        per_side, stream_bytes, repeats, foreign_factor = 60, 200_000, 3, 4
+    else:
+        scenarios = tuple(args.scenarios) if args.scenarios else tuple(
+            sorted(SCENARIOS)
+        )
+        per_side, stream_bytes, repeats = args.queries, args.bytes, args.repeats
+        foreign_factor = args.foreign_factor
+    results = run(scenarios, per_side, stream_bytes, repeats, foreign_factor)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if args.quick:
+        speedup = results["scenarios"]["protein"]["speedup_trust_vs_off"]
+        cold = speedup["bitmask"]["cold"]
+        if cold < QUICK_GATE_SPEEDUP:
+            print(
+                f"FAIL: schema-pruned bitmask cold speedup x{cold:.2f} on "
+                f"protein is below the x{QUICK_GATE_SPEEDUP} gate",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"gate ok: schema-pruned bitmask x{cold:.2f} >= "
+            f"x{QUICK_GATE_SPEEDUP} cold on protein "
+            f"(codegen x{speedup['codegen']['cold']:.2f})"
+        )
+    return 0
+
+
+def test_schema_cold_path(benchmark):
+    """pytest-benchmark harness variant at REPRO_BENCH_SCALE size."""
+    per_side = scaled(25_000, minimum=60)
+    native = _dataset("protein")
+    foreign = _dataset("nasa")
+    workload = build_workload_automata(mixed_workload(native, foreign, per_side))
+    documents = parse_forest(
+        native.stream_of_bytes(scaled(9_120_000, minimum=80_000))
+    )
+
+    def cold_pass(machine):
+        for document in documents:
+            machine.reset_tables()
+            machine.filter_document(document)
+        machine.clear_results()
+
+    pruned = XPushMachine(
+        workload, replace(TD, schema_mode="trust"), dtd=native.dtd
+    )
+    plain = XPushMachine(workload, TD, dtd=native.dtd)
+    cold_pass(pruned)  # warm allocator + index
+    benchmark.pedantic(lambda: cold_pass(pruned), rounds=3, iterations=1)
+    pruned_seconds = _measure(lambda: cold_pass(pruned), 1)
+    plain_seconds = _measure(lambda: cold_pass(plain), 1)
+    print(
+        f"\ncold pass: unpruned {plain_seconds:.3f}s vs schema-pruned "
+        f"{pruned_seconds:.3f}s (x{plain_seconds / pruned_seconds:.2f})"
+    )
+    assert pruned_seconds <= plain_seconds * 1.05
+
+
+if __name__ == "__main__":
+    sys.exit(main())

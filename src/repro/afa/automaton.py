@@ -54,6 +54,7 @@ from repro.afa.predicates import AtomicPredicate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.afa.codegen import CompiledHandlers
+    from repro.afa.schema import SchemaSpec
 
 WILDCARD = "*"
 ATTRIBUTE_WILDCARD = "@*"
@@ -168,6 +169,10 @@ class WorkloadAutomata:
         # "codegen" runtime); None caches a declined compilation so the
         # fallback warning fires once per workload, not once per machine.
         self._codegen_cache: dict[int | None, "CompiledHandlers | None"] = {}
+        # Schema-specialized (DTD-pruned) clones of this workload, one
+        # per DTD fingerprint (repro.afa.schema.specialize), so every
+        # machine, shard and layered epoch shares one pruning pass.
+        self._schema_cache: dict[str, "SchemaSpec"] = {}
         self._finalized = False
 
     # -- construction-time API (used by repro.afa.build) ----------------
@@ -593,6 +598,32 @@ class CompiledMasks:
     def sids_of(mask: int) -> tuple[int, ...]:
         """The sorted sid tuple a mask denotes."""
         return bits_of(mask)
+
+    def materialize_push_rows(
+        self, element_labels: Iterable[str], attribute_labels: Iterable[str]
+    ) -> int:
+        """Insert a direct ``_push_by_label`` row for every given label
+        that currently has none, aliasing the matching wildcard row.
+
+        Wildcard edges are normally resolved at lookup time: a label
+        with no concrete row falls through to the ``*``/``@*`` entry.
+        When the producible label alphabet is known (a DTD is supplied
+        — :mod:`repro.afa.schema`), resolving that fallback at build
+        time makes ``t_push`` a single dict hit per label and lets the
+        code generator emit one literal handler per element type.
+        Returns the number of rows added."""
+        added = 0
+        for labels, wild in (
+            (element_labels, self._push_elem_wild),
+            (attribute_labels, self._push_attr_wild),
+        ):
+            if wild is None:
+                continue
+            for label in labels:
+                if label not in self._push_by_label:
+                    self._push_by_label[label] = wild
+                    added += 1
+        return added
 
     # -- emit-ready table exports (consumed by repro.afa.codegen) ---------
 

@@ -36,7 +36,13 @@ from repro.xmlstream.dtdparser import parse_dtd_file
 from repro.xpath.ast import count_atomic_predicates, is_linear
 from repro.xpath.parser import parse_xpath
 from repro.xpush.machine import XPushMachine
-from repro.xpush.options import EVICTION_POLICIES, RUNTIMES, VARIANTS, variant_options
+from repro.xpush.options import (
+    EVICTION_POLICIES,
+    RUNTIMES,
+    SCHEMA_MODES,
+    VARIANTS,
+    variant_options,
+)
 
 
 def _parse_bytes(text: str) -> int:
@@ -195,12 +201,17 @@ def cmd_filter(args) -> int:
 
     dtd = parse_dtd_file(args.dtd) if args.dtd else None
     options = replace(
-        variant_options(args.variant), runtime=args.runtime, eviction=args.eviction
+        variant_options(args.variant),
+        runtime=args.runtime,
+        eviction=args.eviction,
+        schema_mode=args.schema_mode,
     )
     if args.max_memory:
         options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
     if options.order and dtd is None:
         raise ReproError(f"variant {args.variant!r} needs --dtd for the order optimisation")
+    if options.schema_mode != "off" and dtd is None:
+        raise ReproError(f"--schema-mode {options.schema_mode} needs --dtd")
     if sum(bool(source) for source in (args.queries, args.compiled, args.state)) > 1:
         raise ReproError("pass exactly one of --queries, --compiled or --state")
     if args.shards < 1:
@@ -285,18 +296,29 @@ def cmd_filter(args) -> int:
 
 def cmd_serve(args) -> int:
     import asyncio
+    from dataclasses import replace
 
     from repro.engine import EngineConfig
     from repro.serving import FilterServer
 
     if args.queries and args.state:
         raise ReproError("pass at most one of --queries and --state")
+    dtd = parse_dtd_file(args.dtd) if args.dtd else None
+    if args.order and dtd is None:
+        raise ReproError("--order needs --dtd (the sibling order comes from it)")
+    if args.schema_mode != "off" and dtd is None:
+        raise ReproError(f"--schema-mode {args.schema_mode} needs --dtd")
     config = EngineConfig(
         engine=args.engine,
         backend=args.backend,
         shards=max(args.shards, 1) if args.engine == "sharded" else 1,
         batch_size=args.batch_size,
         parallel=None if args.engine == "sharded" else False,
+        dtd=dtd,
+    )
+    config = replace(
+        config,
+        options=replace(config.options, order=args.order, schema_mode=args.schema_mode),
     )
     borrowed_engine = None
     if args.state:
@@ -449,6 +471,14 @@ def cmd_explain(args) -> int:
     workload = build_workload_automata(filters)
     print(f"filters     : {len(workload.afas)}")
     print(f"AFA states  : {workload.state_count}")
+    if args.schema:
+        if not args.dtd:
+            raise ReproError("explain --schema needs --dtd FILE")
+        from repro.afa.schema import specialize
+
+        spec = specialize(workload, parse_dtd_file(args.dtd))
+        print()
+        print(spec.describe())
     if not args.codegen:
         return 0
     options = XPushOptions(runtime="codegen")
@@ -527,7 +557,10 @@ def cmd_bench(args) -> int:
     megabytes = len(stream.encode("utf-8")) / 1e6
     workload = build_workload_automata(filters)
     options = replace(
-        variant_options(args.variant), runtime=args.runtime, eviction=args.eviction
+        variant_options(args.variant),
+        runtime=args.runtime,
+        eviction=args.eviction,
+        schema_mode=args.schema_mode,
     )
     if args.max_memory:
         options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
@@ -552,6 +585,13 @@ def cmd_bench(args) -> int:
             f"codegen: compile={machine.stats.codegen_compile_ms:.1f}ms "
             f"handlers={machine.stats.codegen_handlers} "
             f"fallbacks={machine.stats.codegen_fallbacks}"
+        )
+    if options.schema_mode != "off":
+        print(
+            f"schema: mode={options.schema_mode} "
+            f"pruned_states={machine.stats.schema_pruned_states} "
+            f"pruned_edges={machine.stats.schema_pruned_edges} "
+            f"fallbacks={machine.stats.schema_fallbacks}"
         )
     if options.max_memory_bytes is not None:
         print(
@@ -631,6 +671,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="policy when --max-memory is crossed "
                         "(clock = incremental second-chance sweep, "
                         "flush = drop all states and tables)")
+    p.add_argument("--schema-mode", default="off", choices=sorted(SCHEMA_MODES),
+                   help="schema-aware AFA specialization against --dtd "
+                        "(trust = assume conforming input, validate = check "
+                        "per event and fall back unpruned on violation)")
     p.set_defaults(func=cmd_filter)
 
     p = sub.add_parser("compile", help="pre-compile a query file to a workload JSON")
@@ -681,6 +725,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="documents per work item when --engine sharded")
     p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
                    help="parser backend for the push-mode event path")
+    p.add_argument("--dtd", help="DTD file (order optimisation / schema specialization)")
+    p.add_argument("--order", action="store_true",
+                   help="enable the Sec. 5 order optimisation (needs --dtd)")
+    p.add_argument("--schema-mode", default="off", choices=sorted(SCHEMA_MODES),
+                   help="schema-aware AFA specialization against --dtd")
     p.add_argument("--policy", default="block",
                    choices=["block", "drop_oldest", "evict"],
                    help="default slow-consumer policy at the high watermark")
@@ -735,6 +784,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-handlers", type=int, default=None,
                    help="override the codegen handler bound "
                         "(XPushOptions.codegen_max_handlers)")
+    p.add_argument("--schema", action="store_true",
+                   help="show the DTD×AFA specialization: pruned states and "
+                        "edges, per-depth label sets, derived depth bound")
+    p.add_argument("--dtd", help="DTD file for --schema")
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("bench", help="one-shot throughput measurement")
@@ -757,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bytes, or K/M/G suffix, e.g. 64M)")
     p.add_argument("--eviction", default="clock", choices=sorted(EVICTION_POLICIES),
                    help="policy when --max-memory is crossed")
+    p.add_argument("--schema-mode", default="off", choices=sorted(SCHEMA_MODES),
+                   help="schema-aware AFA specialization against the "
+                        "dataset's own DTD")
     p.set_defaults(func=cmd_bench)
 
     return parser

@@ -114,6 +114,11 @@ class EngineConfig:
             raise WorkloadError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if self.engine == "sharded" and self.inner == "sharded":
             raise WorkloadError("sharded engines cannot nest sharded inner engines")
+        if self.options.schema_mode != "off" and self.dtd is None:
+            raise WorkloadError(
+                f"schema_mode={self.options.schema_mode!r} requires a DTD "
+                "(EngineConfig.dtd)"
+            )
 
     def with_engine(self, engine: str, **overrides: Any) -> "EngineConfig":
         """A copy selecting a different engine kind (plus overrides) —

@@ -81,6 +81,51 @@ def sources_from_snapshot(snapshot: Mapping[str, Any]) -> dict[str, XPathFilter]
     return {oid: parse_xpath(source, oid) for oid, source in filters.items()}
 
 
+def record_schema_identity(out: dict[str, Any], config: EngineConfig) -> None:
+    """Record the schema identity (mode + DTD fingerprint) in a
+    snapshot payload, mirroring how the runtime is recorded: the
+    pruned tables are derived data rebuilt on load, so the snapshot
+    carries *which* schema they were derived from."""
+    out["schema_mode"] = config.options.schema_mode
+    if config.options.schema_mode != "off" and config.dtd is not None:
+        from repro.afa.schema import dtd_fingerprint
+
+        out["schema_fingerprint"] = dtd_fingerprint(config.dtd)
+
+
+def apply_schema_identity(
+    snapshot: Mapping[str, Any], config: EngineConfig
+) -> EngineConfig:
+    """Re-apply a snapshot's recorded schema identity to *config*.
+
+    Raises :class:`WorkloadError` when the snapshot records a DTD
+    fingerprint that does not match the restoring engine's DTD —
+    restoring would silently rebuild different pruned tables than the
+    ones the snapshot's answers came from.
+    """
+    mode = snapshot.get("schema_mode")
+    if not isinstance(mode, str):
+        return config  # pre-schema snapshot: nothing recorded
+    fingerprint = snapshot.get("schema_fingerprint")
+    if isinstance(fingerprint, str) and mode != "off":
+        if config.dtd is None:
+            raise WorkloadError(
+                f"snapshot was built with schema specialization (mode={mode!r}) "
+                "but the restoring engine has no DTD"
+            )
+        from repro.afa.schema import dtd_fingerprint
+
+        actual = dtd_fingerprint(config.dtd)
+        if actual != fingerprint:
+            raise WorkloadError(
+                "schema fingerprint mismatch: snapshot recorded "
+                f"{fingerprint[:12]}…, restoring engine's DTD is {actual[:12]}…"
+            )
+    if mode != config.options.schema_mode:
+        config = replace(config, options=replace(config.options, schema_mode=mode))
+    return config
+
+
 class _DocumentEvaluator(Protocol):
     """What a rebuildable engine needs from its inner evaluator."""
 
@@ -231,6 +276,9 @@ class SerialXPushEngine(RebuildFilterEngine):
                 codegen_compile_ms=machine.stats.codegen_compile_ms,
                 codegen_handlers=machine.stats.codegen_handlers,
                 codegen_fallbacks=machine.stats.codegen_fallbacks,
+                schema_pruned_states=machine.stats.schema_pruned_states,
+                schema_pruned_edges=machine.stats.schema_pruned_edges,
+                schema_fallbacks=machine.stats.schema_fallbacks,
             )
         else:
             out.update(
@@ -245,17 +293,24 @@ class SerialXPushEngine(RebuildFilterEngine):
                 codegen_compile_ms=0.0,
                 codegen_handlers=0,
                 codegen_fallbacks=0,
+                schema_pruned_states=0,
+                schema_pruned_edges=0,
+                schema_fallbacks=0,
             )
         out["runtime"] = self.config.options.runtime
+        out["schema_mode"] = self.config.options.schema_mode
         out["backend"] = self.config.backend
         return out
 
     def snapshot(self) -> dict[str, Any]:
         # Record the runtime so a restored engine rebuilds the same
         # machine shape (compiled codegen handlers are derived data,
-        # rebuilt on load exactly like the bitmask tables).
+        # rebuilt on load exactly like the bitmask tables), and the
+        # schema identity (mode + DTD fingerprint) so restore rebuilds
+        # identical pruned tables — or refuses a mismatched DTD.
         out = super().snapshot()
         out["runtime"] = self.config.options.runtime
+        record_schema_identity(out, self.config)
         return out
 
     def restore(self, snapshot: dict[str, Any]) -> None:
@@ -265,6 +320,7 @@ class SerialXPushEngine(RebuildFilterEngine):
             self.config = replace(
                 self.config, options=replace(self.config.options, runtime=runtime)
             )
+        self.config = apply_schema_identity(snapshot, self.config)
 
 
 class _EagerAdapter:

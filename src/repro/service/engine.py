@@ -302,10 +302,11 @@ class ShardedFilterEngine:
         options = self.options
         if dtd is not None and not _picklable(dtd):
             # A DTD that cannot cross the process boundary is dropped;
-            # the order optimisation needs it, so switch that off in the
-            # workers — a performance knob only, answers are unchanged.
+            # the order optimisation and schema specialization need it,
+            # so switch those off in the workers — performance knobs
+            # only, answers are unchanged.
             dtd = None
-            options = replace(options, order=False, train=False)
+            options = replace(options, order=False, train=False, schema_mode="off")
         inner_config = self._inner_config(dtd=dtd, options=options)
         for shard_id in range(self.shards):
             self._payloads[shard_id] = build_payload(
@@ -688,7 +689,9 @@ class ShardedFilterEngine:
             shard_snapshots = [
                 self._engines[shard_id].snapshot() for shard_id in range(self.shards)
             ]
-        return {
+        from repro.engine.serial import record_schema_identity
+
+        out: dict[str, Any] = {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
             "shards": self.shards,
@@ -698,6 +701,8 @@ class ShardedFilterEngine:
             "routing": dict(self._live_oids),
             "shard_snapshots": shard_snapshots,
         }
+        record_schema_identity(out, self.config)
+        return out
 
     def restore(self, snapshot: dict[str, Any]) -> None:
         """Replace the workload with a :meth:`snapshot` capture; the
@@ -717,6 +722,12 @@ class ShardedFilterEngine:
             snapshot.get("shards", -1)
         ):
             raise PersistError("malformed sharded snapshot: shard_snapshots")
+        from repro.engine.serial import apply_schema_identity
+
+        config = apply_schema_identity(snapshot, self.config)
+        if config is not self.config:
+            self.config = config
+            self.options = config.options
         self._shutdown_workers()
         self.shards = int(snapshot["shards"])
         self.inner = str(snapshot.get("inner", self.inner))
@@ -729,7 +740,7 @@ class ShardedFilterEngine:
             options = self.options
             if dtd is not None and not _picklable(dtd):
                 dtd = None
-                options = replace(options, order=False, train=False)
+                options = replace(options, order=False, train=False, schema_mode="off")
             inner_config = self._inner_config(dtd=dtd, options=options)
             for shard_id in range(self.shards):
                 payload = build_payload(
@@ -781,6 +792,9 @@ class ShardedFilterEngine:
         ("codegen_compile_ms", 0.0),
         ("codegen_handlers", 0),
         ("codegen_fallbacks", 0),
+        ("schema_pruned_states", 0),
+        ("schema_pruned_edges", 0),
+        ("schema_fallbacks", 0),
     )
 
     def _shard_filter_count(self, shard_id: int) -> int:
@@ -820,6 +834,7 @@ class ShardedFilterEngine:
             "strategy": self.strategy,
             "backend": self.backend,
             "runtime": self.options.runtime,
+            "schema_mode": self.options.schema_mode,
             "parallel": self.parallel,
             "serial_fallback": not self.parallel,
             "batch_size": self.batch_size,

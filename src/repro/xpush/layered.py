@@ -311,19 +311,28 @@ class LayeredFilterEngine:
         """
         from repro.xpush.persist import workload_to_json
 
-        return {
+        out: dict[str, Any] = {
             "format": SNAPSHOT_FORMAT,
             "version": SNAPSHOT_VERSION,
             # Compiled handlers (codegen) and bitmask tables are derived
             # data, rebuilt by finalize() on restore; recording the
-            # runtime is enough to resume the same machine shape.
+            # runtime is enough to resume the same machine shape.  The
+            # schema identity (mode + DTD fingerprint) is recorded the
+            # same way: pruned tables are derived from the DTD, so the
+            # snapshot names which DTD they must be re-derived from.
             "runtime": self.options.runtime,
+            "schema_mode": self.options.schema_mode,
             "base": (
                 workload_to_json(self._base.workload) if self._base is not None else None
             ),
             "delta": {oid: f.source for oid, f in self._delta_filters.items()},
             "tombstones": sorted(self._tombstones),
         }
+        if self.options.schema_mode != "off" and self.dtd is not None:
+            from repro.afa.schema import dtd_fingerprint
+
+            out["schema_fingerprint"] = dtd_fingerprint(self.dtd)
+        return out
 
     def restore(self, snapshot: Mapping[str, Any]) -> None:
         """Replace the current workload with a :meth:`snapshot` capture."""
@@ -342,6 +351,25 @@ class LayeredFilterEngine:
         runtime = snapshot.get("runtime")
         if isinstance(runtime, str) and runtime != self.options.runtime:
             self.options = replace(self.options, runtime=runtime)
+        mode = snapshot.get("schema_mode")
+        if isinstance(mode, str):
+            fingerprint = snapshot.get("schema_fingerprint")
+            if isinstance(fingerprint, str) and mode != "off":
+                from repro.afa.schema import dtd_fingerprint
+
+                if self.dtd is None:
+                    raise PersistError(
+                        f"snapshot was built with schema specialization "
+                        f"(mode={mode!r}) but the restoring engine has no DTD"
+                    )
+                actual = dtd_fingerprint(self.dtd)
+                if actual != fingerprint:
+                    raise PersistError(
+                        "schema fingerprint mismatch: snapshot recorded "
+                        f"{fingerprint[:12]}…, engine's DTD is {actual[:12]}…"
+                    )
+            if mode != self.options.schema_mode:
+                self.options = replace(self.options, schema_mode=mode)
         if not isinstance(delta_data, Mapping) or not isinstance(tombstones, list):
             raise PersistError("malformed layered snapshot")
         if base_data is not None:
@@ -412,6 +440,10 @@ class LayeredFilterEngine:
             "codegen_compile_ms": sum(m.stats.codegen_compile_ms for m in layers),
             "codegen_handlers": sum(m.stats.codegen_handlers for m in layers),
             "codegen_fallbacks": sum(m.stats.codegen_fallbacks for m in layers),
+            "schema_mode": self.options.schema_mode,
+            "schema_pruned_states": sum(m.stats.schema_pruned_states for m in layers),
+            "schema_pruned_edges": sum(m.stats.schema_pruned_edges for m in layers),
+            "schema_fallbacks": sum(m.stats.schema_fallbacks for m in layers),
         }
 
     def close(self) -> None:

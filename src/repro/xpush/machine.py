@@ -50,9 +50,13 @@ The Sec. 5 optimisations are selected with
 from __future__ import annotations
 
 import random
-from typing import IO, Iterable, Iterator
+from dataclasses import replace
+from typing import IO, TYPE_CHECKING, Iterable, Iterator
 
 from repro.afa.automaton import StateKind, WorkloadAutomata
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.afa.schema import SchemaSpec
 from repro.afa.build import build_workload_automata
 from repro.afa.index import AtomicPredicateIndex
 from repro.errors import EventStreamError, MixedContentError, WorkloadError
@@ -134,13 +138,32 @@ class XPushMachine:
             raise WorkloadError("order optimisation requires a DTD")
         self.stats = MachineStats()
 
+        self.runtime = self.options.runtime
+        # Schema specialization (repro.afa.schema): with a DTD and
+        # schema_mode on, the compiled runtimes build every table from
+        # a DTD-pruned clone of the workload over the same sid space —
+        # impossible label edges deleted, forward-unreachable states
+        # stripped, per-element push rows materialised.  The "sets"
+        # reference runtime always runs unpruned: it is the executable
+        # spec the pruned runtimes are differentially tested against.
+        self.schema: "SchemaSpec | None" = None
+        if self.options.schema_mode != "off":
+            if dtd is None:
+                raise WorkloadError(
+                    f"schema_mode={self.options.schema_mode!r} requires a DTD"
+                )
+            if self.runtime != "sets":
+                from repro.afa.schema import specialize
+
+                self.schema = specialize(workload, dtd)
+        compiled = self.schema.workload if self.schema is not None else workload
+
         self.index = AtomicPredicateIndex()
-        for sid in workload.terminals:
-            self.index.add(workload.states[sid].predicate, sid)
+        for sid in compiled.terminals:
+            self.index.add(compiled.states[sid].predicate, sid)
         self.index.freeze()
 
-        self.runtime = self.options.runtime
-        self._masks = workload.masks if self.runtime != "sets" else None
+        self._masks = compiled.masks if self.runtime != "sets" else None
         if self.runtime != "sets" and self._masks is None:
             raise WorkloadError(
                 f"{self.runtime} runtime needs a finalized workload (call finalize())"
@@ -151,7 +174,7 @@ class XPushMachine:
         # tables — compiled_handlers() warned once — and the fallback
         # wrappers below count the interpreted transitions.
         self._handlers = (
-            workload.compiled_handlers(self.options.codegen_max_handlers)
+            compiled.compiled_handlers(self.options.codegen_max_handlers)
             if self.runtime == "codegen"
             else None
         )
@@ -168,8 +191,8 @@ class XPushMachine:
         )
 
         self.store = StateStore(
-            accepts_of=workload.accepted_oids,
-            terminal_sids=frozenset(workload.terminals),
+            accepts_of=compiled.accepted_oids,
+            terminal_sids=frozenset(compiled.terminals),
             masks=self._masks,
         )
         # Cold-path transitions are computed by the selected runtime;
@@ -233,9 +256,37 @@ class XPushMachine:
         # "no mixed content" assumption (Sec. 3.2).
         self._qt: XPushTopState = self.qt0
         self._qb: XPushState = self.store.empty
-        self._stack: list[tuple[XPushTopState, XPushState, int]] = []
+        # The element stack is a frame buffer plus a stack pointer, so
+        # documents reuse slots instead of growing and shrinking a
+        # list.  A non-recursive DTD bounds document depth, so schema
+        # specialization preallocates the whole buffer up front; the
+        # push path still appends past the end when input (or a
+        # schema-less workload) runs deeper.
+        self._stack_bound = (
+            self.schema.analysis.depth_bound if self.schema is not None else None
+        )
+        self._stack: list[tuple[XPushTopState, XPushState, int] | None] = (
+            [None] * self._stack_bound if self._stack_bound else []
+        )
+        self._sp = 0
         self._content = 0
         self._early: set[str] = set()
+        # schema_mode="validate": per-event checks of the two pruning
+        # assumptions (producible labels, depth bound), journaling the
+        # current document so a violation replays it into an unpruned
+        # fallback machine.  Installed as instance attributes so every
+        # driver — dispatch, the push-mode parsers, a layered fanout —
+        # hits the validating path; off/trust pay nothing.
+        self._fallback: "XPushMachine | None" = None
+        self._violated = False
+        self._journal: list[tuple[str, str]] = []
+        if self.schema is not None and self.options.schema_mode == "validate":
+            self._producible = self.schema.analysis.producible
+            self.start_document = self._start_document_validate  # type: ignore[method-assign]
+            self.start_element = self._start_element_validate  # type: ignore[method-assign]
+            self.text = self._text_validate  # type: ignore[method-assign]
+            self.end_element = self._end_element_validate  # type: ignore[method-assign]
+            self.end_document = self._end_document_validate  # type: ignore[method-assign]
         self._results: list[frozenset[str]] = []
         # Per-call result sink: filter_stream/process_events collect the
         # call's own answers here instead of slicing ``_results`` (which
@@ -322,7 +373,7 @@ class XPushMachine:
         self.stats.events += 1
         self._qt = self.qt0
         self._qb = self.store.empty
-        self._stack = []
+        self._sp = 0
         self._content = 0
         self._early = set()
 
@@ -335,9 +386,14 @@ class XPushMachine:
                 f"element <{label}> opened after text in the same parent"
             )
         qt = self._qt
-        self._stack.append(
-            (qt, self._qb, self._content if is_attribute else 2)
-        )
+        sp = self._sp
+        stack = self._stack
+        frame = (qt, self._qb, self._content if is_attribute else 2)
+        if sp == len(stack):
+            stack.append(frame)
+        else:
+            stack[sp] = frame
+        self._sp = sp + 1
         self._content = 0
         qt.ref = True  # the probed table's owner is hot (CLOCK bit)
         stats.lookups += 1
@@ -382,14 +438,20 @@ class XPushMachine:
     def end_element(self, label: str) -> None:
         stats = self.stats
         stats.events += 1
-        if not self._stack:
+        sp = self._sp - 1
+        if sp < 0:
             raise EventStreamError(
                 f"endElement({label}) with no open element: unbalanced event stream"
             )
         qb = self._qb
         qb.ref = True
         qt = self._qt
-        parent_qt, parent_qb, parent_content = self._stack.pop()
+        stack = self._stack
+        frame = stack[sp]
+        assert frame is not None
+        parent_qt, parent_qb, parent_content = frame
+        stack[sp] = None  # drop the state references, keep the slot
+        self._sp = sp
         if self._early_keys:
             pop_key = (label, qt.uid, parent_qt.uid)
         else:
@@ -425,14 +487,20 @@ class XPushMachine:
     def end_document(self) -> frozenset[str]:
         stats = self.stats
         stats.events += 1
-        if self._stack:
+        if self._sp:
             raise EventStreamError(
-                f"endDocument with {len(self._stack)} unclosed element(s)"
+                f"endDocument with {self._sp} unclosed element(s)"
             )
         stats.documents += 1
         accepted = self._qb.accepts
         if self._early:
             accepted = accepted | frozenset(self._early)
+        return self._record_result(accepted)
+
+    def _record_result(self, accepted: frozenset[str]) -> frozenset[str]:
+        """Route one finished document's answer through the result
+        plumbing (collection, retained results, ``on_result``) and run
+        the document-boundary memory policy."""
         if self._collect is not None:
             self._collect.append(accepted)
         if not self._training:
@@ -449,9 +517,108 @@ class XPushMachine:
                 self._manage_memory()
             else:
                 store = self.store
-                stats.resident_bytes = store.resident_bytes
-                stats.table_entries = store.table_entries
+                self.stats.resident_bytes = store.resident_bytes
+                self.stats.table_entries = store.table_entries
         return accepted
+
+    # ------------------------------------------------------------------
+    # schema_mode="validate": checked callbacks + unpruned fallback
+    # ------------------------------------------------------------------
+
+    def _ensure_fallback(self) -> "XPushMachine":
+        """The lazily-built unpruned twin a non-conforming document is
+        replayed into.  Kept across documents so its memo tables warm
+        up like any machine's."""
+        fallback = self._fallback
+        if fallback is None:
+            fallback = XPushMachine(
+                self.workload,
+                replace(
+                    self.options,
+                    schema_mode="off",
+                    train=False,
+                    retain_results=False,
+                ),
+                dtd=self.dtd,
+            )
+            self._fallback = fallback
+        return fallback
+
+    def _trip_schema_fallback(self) -> "XPushMachine":
+        """First violation in a document: replay the journal into the
+        unpruned fallback and reset this machine's registers (the rest
+        of the document goes to the fallback only)."""
+        self._violated = True
+        self.stats.schema_fallbacks += 1
+        fallback = self._ensure_fallback()
+        fallback.start_document()
+        for kind, payload in self._journal:
+            if kind == "s":
+                fallback.start_element(payload)
+            elif kind == "t":
+                fallback.text(payload)
+            else:
+                fallback.end_element(payload)
+        self._journal.clear()
+        # Abandon the pruned machine's half-processed document.  Early
+        # notifications it found on the conforming prefix are safe to
+        # drop: the fallback replayed that same prefix and will report
+        # them itself.
+        self._qt = self.qt0
+        self._qb = self.store.empty
+        stack = self._stack
+        for i in range(self._sp):
+            stack[i] = None
+        self._sp = 0
+        self._content = 0
+        self._early = set()
+        return fallback
+
+    def _start_document_validate(self) -> None:
+        self._violated = False
+        self._journal.clear()
+        XPushMachine.start_document(self)
+
+    def _start_element_validate(self, label: str) -> None:
+        if self._violated:
+            assert self._fallback is not None
+            self._fallback.start_element(label)
+            return
+        bound = self._stack_bound
+        if label not in self._producible or (
+            bound is not None and self._sp >= bound
+        ):
+            self._trip_schema_fallback().start_element(label)
+            return
+        XPushMachine.start_element(self, label)
+        self._journal.append(("s", label))
+
+    def _text_validate(self, value: str) -> None:
+        if self._violated:
+            assert self._fallback is not None
+            self._fallback.text(value)
+            return
+        XPushMachine.text(self, value)
+        self._journal.append(("t", value))
+
+    def _end_element_validate(self, label: str) -> None:
+        if self._violated:
+            assert self._fallback is not None
+            self._fallback.end_element(label)
+            return
+        XPushMachine.end_element(self, label)
+        self._journal.append(("e", label))
+
+    def _end_document_validate(self) -> frozenset[str]:
+        if not self._violated:
+            return XPushMachine.end_document(self)
+        assert self._fallback is not None
+        stats = self.stats
+        stats.events += 1
+        stats.documents += 1
+        accepted = self._fallback.end_document()
+        self._violated = False
+        return self._record_result(accepted)
 
     # ------------------------------------------------------------------
     # Lazy transition computation — "sets" runtime (the reference spec)
@@ -627,11 +794,14 @@ class XPushMachine:
     # ------------------------------------------------------------------
 
     def _stamp_codegen_gauges(self) -> None:
-        """Mirror the compiled-handler gauges into the stats (stats
-        resets wipe them; warm_up re-stamps)."""
+        """Mirror the compiled-handler and schema-pruning gauges into
+        the stats (stats resets wipe them; warm_up re-stamps)."""
         if self._handlers is not None:
             self.stats.codegen_compile_ms = self._handlers.compile_ms
             self.stats.codegen_handlers = self._handlers.handler_count
+        if self.schema is not None:
+            self.stats.schema_pruned_states = self.schema.pruned_state_count
+            self.stats.schema_pruned_edges = self.schema.pruned_edge_count
 
     def dump_source(self) -> str | None:
         """The generated Python the codegen runtime dispatches into, or
@@ -853,6 +1023,12 @@ class XPushMachine:
             self.workload, self.dtd, rng=random.Random(seed)
         )
         count = 0
+        # Training documents are workload-derived, not schema-derived:
+        # under schema_mode="validate" they may legitimately trip the
+        # unpruned fallback.  Those replays are setup, exactly like the
+        # event counts the trailing reset discards, so the fallback
+        # counter keeps its pre-training value.
+        fallbacks_before = self.stats.schema_fallbacks
         self._training = True
         try:
             for document in documents:
@@ -861,9 +1037,10 @@ class XPushMachine:
         finally:
             self._training = False
         stats = self.stats
-        flushes, evictions, gc_states = stats.flushes, stats.evictions, stats.gc_states
+        kept = (stats.flushes, stats.evictions, stats.gc_states)
         stats.reset()
-        stats.flushes, stats.evictions, stats.gc_states = flushes, evictions, gc_states
+        stats.flushes, stats.evictions, stats.gc_states = kept
+        stats.schema_fallbacks = fallbacks_before
         stats.resident_bytes = self.store.resident_bytes
         stats.table_entries = self.store.table_entries
         self._stamp_codegen_gauges()
@@ -881,7 +1058,8 @@ class XPushMachine:
             self._seed_value_table()
         self._qt = self.qt0
         self._qb = self.store.empty
-        self._stack = []
+        self._stack = [None] * self._stack_bound if self._stack_bound else []
+        self._sp = 0
         self._content = 0
         self._early = set()
         self._clock_bottom_hand = -1

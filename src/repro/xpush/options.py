@@ -22,6 +22,13 @@ RUNTIMES = ("bitmask", "codegen", "sets")
 #: Memory-management policies applied when ``max_memory_bytes`` is crossed.
 EVICTION_POLICIES = ("clock", "flush")
 
+#: Schema-specialization behaviours (repro.afa.schema).  ``"off"``
+#: ignores the DTD for pruning; ``"trust"`` runs the pruned tables
+#: assuming conforming input; ``"validate"`` checks the pruning
+#: assumptions per event and falls back to the unpruned tables for a
+#: non-conforming document instead of mis-answering.
+SCHEMA_MODES = ("off", "trust", "validate")
+
 
 @dataclass(frozen=True)
 class XPushOptions:
@@ -89,6 +96,21 @@ class XPushOptions:
             garbage-collected — cold entries go, the hot working set
             (and its hit ratio) survives.  ``"flush"`` is the paper's
             brute-force fallback: drop every state and table.
+        schema_mode: schema-aware specialization of the compiled
+            runtimes (:mod:`repro.afa.schema`).  ``"off"`` (default)
+            builds the tables from the workload alone.  ``"trust"``
+            prunes the AFA against the machine's DTD at construction —
+            impossible label edges deleted, forward-unreachable states
+            stripped, per-element push rows materialised, and (for
+            non-recursive DTDs) the element stack preallocated to the
+            derived depth bound — and *assumes* input conforms; answers
+            on non-conforming input may differ from the unpruned
+            machine's.  ``"validate"`` runs the same pruned tables but
+            checks the two pruning assumptions (producible labels,
+            depth bound) on every event, replaying the current document
+            into an unpruned fallback machine on the first violation —
+            never a wrong answer, at the cost of a per-event check.
+            Requires a DTD; the ``"sets"`` reference runtime ignores it.
         retain_results: append each document's answer to the machine's
             ``results()`` list.  True (default) suits batch use;
             long-running services driven by ``on_result`` or the
@@ -104,6 +126,7 @@ class XPushOptions:
     precompute_values: bool = True
     runtime: str = "bitmask"
     codegen_max_handlers: int = 4096
+    schema_mode: str = "off"
     max_states: int | None = None
     max_memory_bytes: int | None = None
     eviction: str = "clock"
@@ -116,6 +139,11 @@ class XPushOptions:
             raise ValueError(f"unknown runtime {self.runtime!r}; known: {sorted(RUNTIMES)}")
         if self.codegen_max_handlers < 1:
             raise ValueError("codegen_max_handlers must be positive")
+        if self.schema_mode not in SCHEMA_MODES:
+            raise ValueError(
+                f"unknown schema_mode {self.schema_mode!r}; "
+                f"known: {sorted(SCHEMA_MODES)}"
+            )
         if self.max_states is not None and self.max_states < 1:
             raise ValueError("max_states must be positive")
         if self.max_memory_bytes is not None and self.max_memory_bytes < 1:
@@ -140,6 +168,8 @@ class XPushOptions:
         described = "+".join(parts) if parts else "basic"
         if self.runtime != "bitmask":
             described += f"[{self.runtime}]"
+        if self.schema_mode != "off":
+            described += f"[schema:{self.schema_mode}]"
         return described
 
 

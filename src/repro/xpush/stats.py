@@ -39,6 +39,9 @@ class MachineStats:
     codegen_compile_ms: float = 0.0  # gauge: one-time handler compile cost
     codegen_handlers: int = 0  # gauge: compiled functions bound (codegen runtime)
     codegen_fallbacks: int = 0  # transitions interpreted while codegen requested
+    schema_pruned_states: int = 0  # gauge: AFA states stripped by schema pruning
+    schema_pruned_edges: int = 0  # gauge: AFA transitions deleted by schema pruning
+    schema_fallbacks: int = 0  # documents replayed unpruned (schema_mode=validate)
     flushes: int = 0  # full table resets (max_states / eviction="flush")
     evictions: int = 0  # memo entries dropped by the clock sweep
     gc_states: int = 0  # states garbage-collected after eviction

@@ -80,7 +80,11 @@ def trace_document(machine: XPushMachine, document: Document) -> tuple[frozenset
             TraceRow(
                 event=_describe(event),
                 state_sids=qb.sids,
-                stack_sids=tuple(entry[1].sids for entry in machine._stack),
+                stack_sids=tuple(
+                    entry[1].sids
+                    for entry in machine._stack[: machine._sp]
+                    if entry is not None
+                ),
                 enabled=len(qt.sids) if qt.sids is not None else None,
                 accepts=tuple(sorted(qb.accepts)),
             )

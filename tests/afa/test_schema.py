@@ -1,0 +1,310 @@
+"""Schema-aware AFA specialization (repro.afa.schema).
+
+The pruning makes exactly two assumptions — every start-element label
+is producible under the DTD, and nesting respects the derived depth
+bound — so the wall here is differential: schema-on must equal
+schema-off on conforming input for every compiled runtime, and
+``validate`` mode must equal schema-off even on *non*-conforming
+input (by falling back, never by mis-answering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.afa.build import build_workload_automata
+from repro.afa.schema import analyze, dtd_fingerprint, specialize
+from repro.errors import WorkloadError
+from repro.xmlstream.dtd import DTD, ElementDecl, PCDATA, elem, seq
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import matching_oids
+from repro.xpush.machine import XPushMachine
+from repro.xpush.options import SCHEMA_MODES, XPushOptions
+
+from tests.conftest import make_workload
+
+#: Compiled runtimes the specialization feeds (the "sets" reference
+#: runtime deliberately ignores schema_mode).
+COMPILED_RUNTIMES = ("bitmask", "codegen")
+
+
+def mixed_workload(protein, nasa, protein_count=20, nasa_count=20):
+    """Protein plus NASA queries under one workload — under the protein
+    DTD the NASA-only states are forward-unreachable, so the pruning
+    has real work to do (a single-dataset workload is schema-consistent
+    by construction and prunes little)."""
+    filters = list(make_workload(protein, protein_count, seed=11))
+    for index, f in enumerate(make_workload(nasa, nasa_count, seed=12)):
+        filters.append(parse_xpath(f.source, f"nasa{index}"))
+    return filters
+
+
+# ----------------------------------------------------------------------
+# Fingerprint and analysis
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_is_stable(protein):
+    assert dtd_fingerprint(protein.dtd) == dtd_fingerprint(protein.dtd)
+
+
+def test_fingerprint_distinguishes_dtds(protein, nasa):
+    assert dtd_fingerprint(protein.dtd) != dtd_fingerprint(nasa.dtd)
+
+
+def test_fingerprint_sensitive_to_content_model():
+    a = DTD("r", [ElementDecl("r", seq(elem("x"))), ElementDecl("x", PCDATA)])
+    b = DTD("r", [ElementDecl("r", seq(elem("x", "*"))), ElementDecl("x", PCDATA)])
+    assert dtd_fingerprint(a) != dtd_fingerprint(b)
+
+
+def test_analyze_protein_depth_bound(protein):
+    analysis = analyze(protein.dtd)
+    assert not analysis.is_recursive
+    # Paper Sec. 7: protein max document depth 7; attributes push one
+    # pseudo-level deeper.
+    assert analysis.max_depth == 7
+    assert analysis.depth_bound == 8
+    assert not analysis.saturated
+    assert analysis.levels[0] == frozenset({protein.dtd.root})
+
+
+def test_analyze_nasa_is_unbounded(nasa):
+    analysis = analyze(nasa.dtd)
+    assert analysis.is_recursive
+    assert analysis.max_depth is None
+    assert analysis.depth_bound is None
+    assert analysis.saturated
+
+
+def test_analyze_producible_covers_attributes(protein):
+    analysis = analyze(protein.dtd)
+    assert analysis.element_labels <= analysis.producible
+    assert analysis.attribute_labels <= analysis.producible
+    assert all(label.startswith("@") for label in analysis.attribute_labels)
+
+
+# ----------------------------------------------------------------------
+# Specialization mechanics
+# ----------------------------------------------------------------------
+
+
+def test_specialize_prunes_foreign_states(protein, nasa):
+    workload = build_workload_automata(mixed_workload(protein, nasa))
+    spec = specialize(workload, protein.dtd)
+    assert spec.pruned_state_count > 0
+    assert spec.pruned_edge_count > 0
+    # Same sid space: externally visible structure lines up 1:1.
+    assert len(spec.workload.states) == len(workload.states)
+    assert [afa.oid for afa in spec.workload.afas] == [
+        afa.oid for afa in workload.afas
+    ]
+    # A pruned state really is emptied out.
+    for sid in spec.pruned_sids:
+        twin = spec.workload.states[sid]
+        assert not twin.edges and not twin.eps and not twin.top_labels
+        assert twin.predicate is None
+
+
+def test_specialize_keeps_consistent_workload_intact(protein):
+    """A pure single-dataset workload is schema-consistent: nothing to
+    prune, and the pruned tables answer identically by construction."""
+    workload = build_workload_automata(make_workload(protein, 25, seed=4))
+    spec = specialize(workload, protein.dtd)
+    assert spec.pruned_state_count == 0
+    assert spec.pruned_edge_count == 0
+
+
+def test_specialize_is_cached_per_fingerprint(protein, nasa):
+    workload = build_workload_automata(mixed_workload(protein, nasa, 5, 5))
+    assert specialize(workload, protein.dtd) is specialize(workload, protein.dtd)
+    assert specialize(workload, protein.dtd) is not specialize(workload, nasa.dtd)
+
+
+def test_specialize_requires_finalized_workload(protein):
+    from repro.afa.automaton import WorkloadAutomata
+
+    with pytest.raises(WorkloadError):
+        specialize(WorkloadAutomata(), protein.dtd)
+
+
+def test_materialized_push_rows_cover_producible_labels(protein, nasa):
+    workload = build_workload_automata(mixed_workload(protein, nasa, 10, 5))
+    spec = specialize(workload, protein.dtd)
+    rows = spec.workload.masks.push_rows()
+    wild_rows = workload.masks.push_rows()
+    analysis = spec.analysis
+    # Every element label the schema can produce resolves to a direct
+    # per-label row — t_push never falls through to the wildcard.
+    covered = {label for label in analysis.element_labels if label in rows}
+    assert covered == set(analysis.element_labels)
+    assert len(rows) >= len(wild_rows)
+
+
+def test_schema_mode_requires_dtd(protein):
+    workload = build_workload_automata(make_workload(protein, 5, seed=1))
+    with pytest.raises(WorkloadError):
+        XPushMachine(workload, XPushOptions(schema_mode="trust"))
+
+
+def test_unknown_schema_mode_rejected():
+    with pytest.raises(ValueError):
+        XPushOptions(schema_mode="hope")
+    assert set(SCHEMA_MODES) == {"off", "trust", "validate"}
+
+
+def test_sets_runtime_ignores_schema(protein, protein_docs):
+    workload = build_workload_automata(make_workload(protein, 10, seed=2))
+    machine = XPushMachine(
+        workload,
+        XPushOptions(runtime="sets", schema_mode="trust"),
+        dtd=protein.dtd,
+    )
+    assert machine.schema is None
+    machine.filter_document(protein_docs[0])
+
+
+# ----------------------------------------------------------------------
+# Differential wall: conforming input
+# ----------------------------------------------------------------------
+
+
+def _machine(workload, options, dtd):
+    return XPushMachine(workload, options, dtd=dtd)
+
+
+@pytest.mark.parametrize("runtime", COMPILED_RUNTIMES)
+@pytest.mark.parametrize("mode", ["trust", "validate"])
+def test_schema_on_equals_schema_off_on_conforming_input(
+    runtime, mode, protein, nasa, protein_docs
+):
+    filters = mixed_workload(protein, nasa)
+    workload = build_workload_automata(filters)
+    base = XPushOptions(top_down=True, precompute_values=False, runtime=runtime)
+    plain = _machine(workload, base, protein.dtd)
+    pruned = _machine(workload, replace(base, schema_mode=mode), protein.dtd)
+    expected = [matching_oids(filters, doc) for doc in protein_docs]
+    assert [plain.filter_document(d) for d in protein_docs] == expected
+    assert [pruned.filter_document(d) for d in protein_docs] == expected
+    assert pruned.stats.schema_pruned_states > 0
+    assert pruned.stats.schema_fallbacks == 0
+
+
+@pytest.mark.parametrize("mode", ["trust", "validate"])
+def test_schema_with_early_notification(mode, protein, nasa, protein_docs):
+    filters = mixed_workload(protein, nasa, 15, 10)
+    workload = build_workload_automata(filters)
+    options = XPushOptions(
+        top_down=True, early=True, precompute_values=False, schema_mode=mode
+    )
+    machine = _machine(workload, options, protein.dtd)
+    expected = [matching_oids(filters, doc) for doc in protein_docs[:10]]
+    assert [machine.filter_document(d) for d in protein_docs[:10]] == expected
+
+
+def test_bounded_stack_round_trips(protein, protein_docs):
+    """A non-recursive schema runs on the preallocated frame buffer;
+    repeated documents must not grow it or leak frames."""
+    workload = build_workload_automata(make_workload(protein, 15, seed=8))
+    machine = _machine(
+        workload, XPushOptions(schema_mode="trust"), protein.dtd
+    )
+    assert machine._stack_bound == 8
+    assert len(machine._stack) == 8
+    for doc in protein_docs[:10]:
+        machine.filter_document(doc)
+        assert machine._sp == 0
+    assert len(machine._stack) == 8
+
+
+def test_recursive_schema_has_no_stack_bound(nasa, nasa_docs):
+    filters = make_workload(nasa, 10, seed=3, prob_descendant=0.3)
+    workload = build_workload_automata(filters)
+    machine = _machine(workload, XPushOptions(schema_mode="trust"), nasa.dtd)
+    assert machine._stack_bound is None
+    expected = [matching_oids(filters, doc) for doc in nasa_docs[:8]]
+    assert [machine.filter_document(d) for d in nasa_docs[:8]] == expected
+
+
+def test_reset_tables_under_schema(protein, protein_docs):
+    workload = build_workload_automata(make_workload(protein, 15, seed=21))
+    machine = _machine(workload, XPushOptions(schema_mode="trust"), protein.dtd)
+    before = [machine.filter_document(d) for d in protein_docs[:5]]
+    machine.reset_tables()
+    assert len(machine._stack) == 8 and machine._sp == 0
+    assert [machine.filter_document(d) for d in protein_docs[:5]] == before
+
+
+# ----------------------------------------------------------------------
+# Validate mode: non-conforming input
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("runtime", COMPILED_RUNTIMES)
+def test_validate_never_misanswers_on_nonconforming_input(
+    runtime, protein, nasa, protein_docs, nasa_docs
+):
+    """Filter a stream that mixes protein documents (conforming) with
+    NASA documents (not producible under the protein DTD): ``validate``
+    must match the unpruned machine document-for-document, counting one
+    fallback per non-conforming document."""
+    filters = mixed_workload(protein, nasa)
+    workload = build_workload_automata(filters)
+    stream = (
+        protein_docs[:3] + nasa_docs[:5] + protein_docs[3:5]
+    )
+    base = XPushOptions(top_down=True, precompute_values=False, runtime=runtime)
+    plain = _machine(workload, base, protein.dtd)
+    checking = _machine(workload, replace(base, schema_mode="validate"), protein.dtd)
+    expected = [plain.filter_document(doc) for doc in stream]
+    assert [checking.filter_document(doc) for doc in stream] == expected
+    assert expected == [matching_oids(filters, doc) for doc in stream]
+    assert checking.stats.schema_fallbacks == 5
+    assert checking.stats.documents == len(stream)
+
+
+def test_validate_with_early_notification_on_nonconforming_input(
+    protein, nasa, protein_docs, nasa_docs
+):
+    filters = mixed_workload(protein, nasa, 15, 15)
+    workload = build_workload_automata(filters)
+    stream = protein_docs[:2] + nasa_docs[:3] + protein_docs[2:4]
+    options = XPushOptions(top_down=True, early=True, precompute_values=False)
+    plain = _machine(workload, options, protein.dtd)
+    checking = _machine(
+        workload, replace(options, schema_mode="validate"), protein.dtd
+    )
+    assert [checking.filter_document(d) for d in stream] == [
+        plain.filter_document(d) for d in stream
+    ]
+
+
+def test_validate_recovers_after_fallback(protein, nasa, protein_docs, nasa_docs):
+    """After a non-conforming document trips the fallback, the next
+    conforming document runs on the pruned tables again."""
+    filters = mixed_workload(protein, nasa, 10, 10)
+    workload = build_workload_automata(filters)
+    machine = _machine(
+        workload,
+        XPushOptions(schema_mode="validate"),
+        protein.dtd,
+    )
+    machine.filter_document(nasa_docs[0])
+    assert machine.stats.schema_fallbacks == 1
+    before = machine.stats.schema_fallbacks
+    expected = matching_oids(filters, protein_docs[0])
+    assert machine.filter_document(protein_docs[0]) == expected
+    assert machine.stats.schema_fallbacks == before
+
+
+def test_validate_stats_survive_warm_up(protein, nasa, nasa_docs):
+    filters = mixed_workload(protein, nasa, 8, 8)
+    workload = build_workload_automata(filters)
+    machine = _machine(workload, XPushOptions(schema_mode="validate"), protein.dtd)
+    machine.filter_document(nasa_docs[0])
+    assert machine.stats.schema_fallbacks == 1
+    machine.warm_up()
+    assert machine.stats.schema_fallbacks == 1
+    assert machine.stats.schema_pruned_states > 0

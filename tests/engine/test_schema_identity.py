@@ -1,0 +1,179 @@
+"""Schema identity in engine snapshots (serial, layered, sharded).
+
+Pruned tables are derived data, rebuilt on restore — so the snapshot
+records *which* DTD (by fingerprint) and which ``schema_mode`` they
+were derived from, exactly as it records the runtime.  A restore whose
+engine holds a different DTD must be refused: silently rebuilding
+against the wrong schema would change the tables the recorded answers
+came from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.afa.schema import dtd_fingerprint
+from repro.engine.config import EngineConfig
+from repro.engine.serial import SerialXPushEngine
+from repro.errors import ReproError, WorkloadError
+from repro.xpush.layered import LayeredFilterEngine
+from repro.xpush.options import XPushOptions
+from repro.xpush.persist import PersistError
+
+from tests.conftest import make_workload
+
+
+def _serial(protein, filters, mode="trust"):
+    return SerialXPushEngine(
+        filters,
+        EngineConfig(
+            options=XPushOptions(schema_mode=mode), dtd=protein.dtd
+        ),
+    )
+
+
+def test_config_rejects_schema_mode_without_dtd():
+    with pytest.raises(WorkloadError):
+        EngineConfig(options=XPushOptions(schema_mode="trust"))
+
+
+def test_serial_snapshot_records_schema_identity(protein, protein_docs):
+    filters = make_workload(protein, 12, seed=51)
+    engine = _serial(protein, filters)
+    expected = [engine.filter_document(d) for d in protein_docs[:4]]
+    snapshot = engine.snapshot()
+    assert snapshot["schema_mode"] == "trust"
+    assert snapshot["schema_fingerprint"] == dtd_fingerprint(protein.dtd)
+
+    restored = SerialXPushEngine([], EngineConfig(dtd=protein.dtd))
+    restored.restore(snapshot)
+    assert restored.config.options.schema_mode == "trust"
+    assert [restored.filter_document(d) for d in protein_docs[:4]] == expected
+    assert restored.stats()["schema_pruned_states"] >= 0
+    assert restored.stats()["schema_mode"] == "trust"
+
+
+def test_serial_restore_rejects_mismatched_dtd(protein, nasa):
+    filters = make_workload(protein, 8, seed=52)
+    snapshot = _serial(protein, filters).snapshot()
+    restored = SerialXPushEngine([], EngineConfig(dtd=nasa.dtd))
+    with pytest.raises(WorkloadError, match="fingerprint mismatch"):
+        restored.restore(snapshot)
+
+
+def test_serial_restore_rejects_missing_dtd(protein):
+    filters = make_workload(protein, 8, seed=53)
+    snapshot = _serial(protein, filters).snapshot()
+    restored = SerialXPushEngine([], EngineConfig())
+    with pytest.raises(WorkloadError, match="no DTD"):
+        restored.restore(snapshot)
+
+
+def test_serial_schema_off_snapshot_restores_anywhere(protein):
+    filters = make_workload(protein, 6, seed=54)
+    engine = SerialXPushEngine(filters, EngineConfig())
+    snapshot = engine.snapshot()
+    assert snapshot["schema_mode"] == "off"
+    assert "schema_fingerprint" not in snapshot
+    restored = SerialXPushEngine([], EngineConfig())
+    restored.restore(snapshot)  # no identity recorded, nothing to refuse
+
+
+def test_layered_snapshot_round_trips_schema_identity(protein, protein_docs):
+    filters = make_workload(protein, 14, seed=55)
+    engine = LayeredFilterEngine(
+        filters[:10],
+        options=XPushOptions(schema_mode="validate"),
+        dtd=protein.dtd,
+        compact_threshold=1_000,
+    )
+    for f in filters[10:]:
+        engine.insert(f.oid, f.source)
+    expected = [engine.filter_document(d) for d in protein_docs[:4]]
+    snapshot = engine.snapshot()
+    assert snapshot["schema_mode"] == "validate"
+    assert snapshot["schema_fingerprint"] == dtd_fingerprint(protein.dtd)
+
+    restored = LayeredFilterEngine([], options=XPushOptions(), dtd=protein.dtd)
+    restored.restore(snapshot)
+    assert restored.options.schema_mode == "validate"
+    assert [restored.filter_document(d) for d in protein_docs[:4]] == expected
+    assert restored.stats()["schema_mode"] == "validate"
+
+
+def test_layered_restore_rejects_mismatched_dtd(protein, nasa):
+    engine = LayeredFilterEngine(
+        make_workload(protein, 6, seed=56),
+        options=XPushOptions(schema_mode="trust"),
+        dtd=protein.dtd,
+    )
+    snapshot = engine.snapshot()
+    restored = LayeredFilterEngine([], options=XPushOptions(), dtd=nasa.dtd)
+    with pytest.raises(PersistError, match="fingerprint mismatch"):
+        restored.restore(snapshot)
+    bare = LayeredFilterEngine([], options=XPushOptions())
+    with pytest.raises(PersistError, match="no DTD"):
+        bare.restore(snapshot)
+
+
+def test_sharded_snapshot_round_trips_schema_identity(protein, protein_docs):
+    from repro.service import ShardedFilterEngine
+
+    filters = make_workload(protein, 16, seed=57)
+    config = EngineConfig(
+        engine="sharded",
+        options=XPushOptions(
+            top_down=True, precompute_values=False, schema_mode="trust"
+        ),
+        dtd=protein.dtd,
+        shards=2,
+        parallel=False,
+    )
+    docs = protein_docs[:5]
+    with ShardedFilterEngine(filters, config=config) as engine:
+        expected = engine.filter_batch(docs)
+        snapshot = engine.snapshot()
+        assert engine.stats()["schema_mode"] == "trust"
+    assert snapshot["schema_mode"] == "trust"
+    assert snapshot["schema_fingerprint"] == dtd_fingerprint(protein.dtd)
+
+    restore_config = EngineConfig(
+        engine="sharded", dtd=protein.dtd, shards=2, parallel=False
+    )
+    with ShardedFilterEngine([], config=restore_config) as restored:
+        restored.restore(snapshot)
+        assert restored.options.schema_mode == "trust"
+        assert restored.filter_batch(docs) == expected
+
+
+def test_sharded_restore_rejects_mismatched_dtd(protein, nasa):
+    from repro.service import ShardedFilterEngine
+
+    filters = make_workload(protein, 8, seed=58)
+    config = EngineConfig(
+        engine="sharded",
+        options=XPushOptions(schema_mode="trust"),
+        dtd=protein.dtd,
+        shards=2,
+        parallel=False,
+    )
+    with ShardedFilterEngine(filters, config=config) as engine:
+        snapshot = engine.snapshot()
+    wrong = EngineConfig(engine="sharded", dtd=nasa.dtd, shards=2, parallel=False)
+    with ShardedFilterEngine([], config=wrong) as restored:
+        with pytest.raises(ReproError, match="fingerprint mismatch"):
+            restored.restore(snapshot)
+
+
+def test_sharded_worker_fallback_disables_schema_for_unpicklable_dtd(protein):
+    """An unpicklable DTD cannot cross the process boundary; the worker
+    options must drop schema specialization along with the order
+    optimisation rather than ship a schema_mode that would fail at
+    machine construction."""
+    from repro.service.engine import _picklable
+
+    class Unpicklable:
+        def __reduce__(self):
+            raise TypeError("nope")
+
+    assert not _picklable(Unpicklable())

@@ -80,6 +80,34 @@ def test_min_depths():
     assert depths["a"] == 2
 
 
+def test_min_depths_fixpoint_on_recursive_dtd():
+    """The fixpoint must terminate on a recursive content model and
+    report the depth of the *shortest* conforming subtree — recursion
+    only matters when the recursive branch is mandatory."""
+    optional_recursion = DTD(
+        "d",
+        [
+            ElementDecl("d", seq(elem("p"), elem("d", "?"))),
+            ElementDecl("p", PCDATA),
+        ],
+    )
+    depths = optional_recursion.min_depths()
+    assert depths["p"] == 1
+    assert depths["d"] == 2  # one mandatory p child, recursion skippable
+
+    mutual = DTD(
+        "a",
+        [
+            ElementDecl("a", seq(elem("b", "*"), elem("leaf", "?"))),
+            ElementDecl("b", seq(elem("a"))),
+            ElementDecl("leaf", PCDATA),
+        ],
+    )
+    depths = mutual.min_depths()
+    assert depths["a"] == 1  # everything optional: an empty a suffices
+    assert depths["b"] == 2  # b requires an a child
+
+
 # ----------------------------------------------------------------------
 # Validation
 # ----------------------------------------------------------------------
