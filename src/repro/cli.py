@@ -206,6 +206,8 @@ def cmd_filter(args) -> int:
         eviction=args.eviction,
         schema_mode=args.schema_mode,
     )
+    if args.early:
+        options = replace(options, early=True)
     if args.max_memory:
         options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
     if options.order and dtd is None:
@@ -318,7 +320,12 @@ def cmd_serve(args) -> int:
     )
     config = replace(
         config,
-        options=replace(config.options, order=args.order, schema_mode=args.schema_mode),
+        options=replace(
+            config.options,
+            order=args.order,
+            schema_mode=args.schema_mode,
+            early=args.early,
+        ),
     )
     borrowed_engine = None
     if args.state:
@@ -329,6 +336,7 @@ def cmd_serve(args) -> int:
             port=args.port,
             default_policy=args.policy,
             high_watermark=args.high_watermark,
+            early=args.early,
         )
     else:
         filters = _load_queries(args.queries) if args.queries else None
@@ -339,6 +347,7 @@ def cmd_serve(args) -> int:
             port=args.port,
             default_policy=args.policy,
             high_watermark=args.high_watermark,
+            early=args.early,
         )
 
     async def _run() -> None:
@@ -562,6 +571,8 @@ def cmd_bench(args) -> int:
         eviction=args.eviction,
         schema_mode=args.schema_mode,
     )
+    if args.early:
+        options = replace(options, early=True)
     if args.max_memory:
         options = replace(options, max_memory_bytes=_parse_bytes(args.max_memory))
     machine = XPushMachine(workload, options, dtd=dataset.dtd)
@@ -671,6 +682,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="policy when --max-memory is crossed "
                         "(clock = incremental second-chance sweep, "
                         "flush = drop all states and tables)")
+    p.add_argument("--early", action="store_true",
+                   help="event-time earliest answering: decide filters at the "
+                        "earliest deciding event (requires a top-down variant)")
     p.add_argument("--schema-mode", default="off", choices=sorted(SCHEMA_MODES),
                    help="schema-aware AFA specialization against --dtd "
                         "(trust = assume conforming input, validate = check "
@@ -728,6 +742,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtd", help="DTD file (order optimisation / schema specialization)")
     p.add_argument("--order", action="store_true",
                    help="enable the Sec. 5 order optimisation (needs --dtd)")
+    p.add_argument("--early", action="store_true",
+                   help="event-time earliest answering: decide filters at the "
+                        "earliest deciding event (requires a top-down variant)")
     p.add_argument("--schema-mode", default="off", choices=sorted(SCHEMA_MODES),
                    help="schema-aware AFA specialization against --dtd")
     p.add_argument("--policy", default="block",
@@ -810,6 +827,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bytes, or K/M/G suffix, e.g. 64M)")
     p.add_argument("--eviction", default="clock", choices=sorted(EVICTION_POLICIES),
                    help="policy when --max-memory is crossed")
+    p.add_argument("--early", action="store_true",
+                   help="event-time earliest answering: decide filters at the "
+                        "earliest deciding event (requires a top-down variant)")
     p.add_argument("--schema-mode", default="off", choices=sorted(SCHEMA_MODES),
                    help="schema-aware AFA specialization against the "
                         "dataset's own DTD")

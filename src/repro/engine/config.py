@@ -112,6 +112,24 @@ class EngineConfig:
             raise WorkloadError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.queue_depth < 1:
             raise WorkloadError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        # Deferred import: repro.service.partition is leaf-light, but
+        # importing it at module level would pull repro.service.__init__
+        # (which imports the engine package) into a cycle.
+        from repro.service.partition import PARTITION_STRATEGIES
+
+        if self.strategy not in PARTITION_STRATEGIES:
+            raise WorkloadError(
+                f"unknown partition strategy {self.strategy!r}; "
+                f"known: {sorted(PARTITION_STRATEGIES)}"
+            )
+        if self.result_timeout <= 0:
+            raise WorkloadError(
+                f"result_timeout must be > 0 seconds, got {self.result_timeout}"
+            )
+        if self.eager_max_states < 1:
+            raise WorkloadError(
+                f"eager_max_states must be >= 1, got {self.eager_max_states}"
+            )
         if self.engine == "sharded" and self.inner == "sharded":
             raise WorkloadError("sharded engines cannot nest sharded inner engines")
         if self.options.schema_mode != "off" and self.dtd is None:

@@ -34,7 +34,7 @@ with ``isinstance``; the typed contract is enforced by the strict
 
 from __future__ import annotations
 
-from typing import IO, Any, Iterable, Protocol, Union, runtime_checkable
+from typing import IO, Any, Callable, Iterable, Optional, Protocol, Union, runtime_checkable
 
 from repro.xmlstream.dom import Document
 from repro.xmlstream.events import Event
@@ -43,10 +43,28 @@ from repro.xmlstream.events import Event
 #: file-like object open in text or binary mode.
 StreamSource = Union[str, bytes, IO[str], IO[bytes]]
 
+#: Event-time match sink: ``hook(oid, doc_index, event_index)``.
+#: ``doc_index`` is the 0-based document position *within the current
+#: filter call*; ``event_index`` is the SAX event position within that
+#: document at which the match was decided (``startDocument`` is event
+#: 0), or ``-1`` when the engine has no event-time information (the
+#: document-granularity rebuild engines).  Each oid is delivered at
+#: most once per document, emissions are monotone in event order, and
+#: the union over a document equals its ``filter_*`` answer set.
+MatchHook = Callable[[str, int, int], None]
+
 
 @runtime_checkable
 class FilterEngine(Protocol):
     """A filtering engine over a mutable workload of XPath filters."""
+
+    #: Optional event-time match sink (see :data:`MatchHook`).  Engines
+    #: with a streaming evaluator (xpush, layered, sharded) fire it at
+    #: the deciding event — under ``XPushOptions.early`` that is the
+    #: earliest event the paper's Sec. 5 notification resolves; without
+    #: early it is the document end.  Document-granularity engines fire
+    #: at document completion with ``event_index=-1``.
+    on_match: Optional[MatchHook]
 
     # -- workload control plane ----------------------------------------
 

@@ -26,7 +26,7 @@ from dataclasses import replace
 from typing import Any, Callable, Iterable, Mapping, Protocol, Sequence
 
 from repro.engine.config import EngineConfig
-from repro.engine.protocol import StreamSource
+from repro.engine.protocol import MatchHook, StreamSource
 from repro.errors import WorkloadError
 from repro.xmlstream.dom import Document, documents_of_events, parse_forest
 from repro.xmlstream.events import Event
@@ -156,6 +156,11 @@ class RebuildFilterEngine:
             self._filters[f.oid] = f
         self._inner: _DocumentEvaluator | None = None
         self.rebuilds = 0
+        #: Event-time match sink (FilterEngine protocol).  The rebuild
+        #: engines evaluate whole documents, so the base implementation
+        #: fires at document completion with ``event_index=-1``; the
+        #: XPush subclasses relay the machine's true event-time hook.
+        self.on_match: MatchHook | None = None
 
     # -- workload control plane ----------------------------------------
 
@@ -189,14 +194,34 @@ class RebuildFilterEngine:
     # -- filtering -----------------------------------------------------
 
     def filter_document(self, document: Document) -> frozenset[str]:
-        return self._live().filter_document(document)
+        matched = self._live().filter_document(document)
+        self._emit_document_matches(matched, 0)
+        return matched
 
     def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
         documents = documents_of_events(list(events))
-        return [self.filter_document(doc) for doc in documents]
+        return self._filter_documents(documents)
 
     def filter_stream(self, source: StreamSource) -> list[frozenset[str]]:
-        return [self.filter_document(doc) for doc in self._documents(source)]
+        return self._filter_documents(self._documents(source))
+
+    def _filter_documents(self, documents: list[Document]) -> list[frozenset[str]]:
+        inner = self._live()
+        out: list[frozenset[str]] = []
+        for index, doc in enumerate(documents):
+            matched = inner.filter_document(doc)
+            self._emit_document_matches(matched, index)
+            out.append(matched)
+        return out
+
+    def _emit_document_matches(self, matched: frozenset[str], doc_index: int) -> None:
+        """Document-granularity on_match delivery: these engines learn
+        nothing before the evaluator returns, so every match carries
+        ``event_index=-1`` ("decided at document completion")."""
+        hook = self.on_match
+        if hook is not None:
+            for oid in sorted(matched):
+                hook(oid, doc_index, -1)
 
     def _documents(self, source: StreamSource) -> list[Document]:
         if not isinstance(source, (str, bytes)):
@@ -236,6 +261,17 @@ class SerialXPushEngine(RebuildFilterEngine):
 
     name = "xpush"
 
+    def __init__(
+        self,
+        filters: Sequence[XPathFilter] | Mapping[str, str] | Iterable[str] | None,
+        config: EngineConfig | None = None,
+    ):
+        super().__init__(filters, config)
+        # Machine doc_seq of the first document of the current filter
+        # call — the relay subtracts it so on_match carries the 0-based
+        # document index within the call, per the protocol contract.
+        self._match_base = 0
+
     def _build(self, filters: list[XPathFilter]) -> XPushMachine:
         config = self.config
         return XPushMachine.from_filters(
@@ -249,13 +285,35 @@ class SerialXPushEngine(RebuildFilterEngine):
         assert isinstance(inner, XPushMachine)
         return inner
 
+    def _machine_for_call(self) -> XPushMachine:
+        """The live machine with the event-time relay (un)wired for one
+        filter call.  Wired per call so a machine rebuilt by an update
+        picks the hook back up, and an unset hook costs the hot path
+        nothing (the machine skips per-oid delivery entirely)."""
+        machine = self._machine()
+        machine.on_match = self._relay_match if self.on_match is not None else None
+        self._match_base = machine.doc_seq
+        return machine
+
+    def _relay_match(self, oid: str, doc_seq: int, event_index: int) -> None:
+        hook = self.on_match
+        if hook is not None:
+            hook(oid, doc_seq - self._match_base, event_index)
+
+    def filter_document(self, document: Document) -> frozenset[str]:
+        # Route through the machine's event path (not the base class's
+        # document-time emission) so on_match fires at event time.
+        return self._machine_for_call().filter_document(document)
+
     def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
-        return self._machine().process_events(iter(events))
+        return self._machine_for_call().process_events(iter(events))
 
     def filter_stream(self, source: StreamSource) -> list[frozenset[str]]:
         # The zero-allocation push path: the scanner drives the machine
         # callbacks directly, no Document or Event objects in between.
-        return self._machine().filter_stream(source, backend=self.config.backend)
+        return self._machine_for_call().filter_stream(
+            source, backend=self.config.backend
+        )
 
     def warm_up(self, seed: int = 0) -> int:
         return self._machine().warm_up(seed=seed)

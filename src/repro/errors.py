@@ -66,6 +66,18 @@ class WorkloadError(ReproError):
     """Raised when a filter workload is ill-formed (e.g. duplicate oids)."""
 
 
+class OptionsError(WorkloadError, ValueError):
+    """Raised for an invalid option value or combination on a config
+    surface (:class:`repro.xpush.options.XPushOptions`,
+    :class:`repro.engine.config.EngineConfig`).
+
+    Derives from both :class:`WorkloadError` — so CLI/engine handlers
+    that report configuration problems at the boundary catch it — and
+    :class:`ValueError`, the type these validations historically
+    raised, so existing ``except ValueError`` callers keep working.
+    """
+
+
 class ServingError(ReproError):
     """Raised by the network serving tier (`repro.serving`) for
     server-side failures that are not wire-protocol violations: unknown

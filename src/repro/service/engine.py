@@ -62,6 +62,7 @@ from dataclasses import replace
 from typing import IO, Any, Iterable, Sequence, Union
 
 from repro.engine.config import EngineConfig
+from repro.engine.protocol import MatchHook
 from repro.errors import ReproError, WorkloadError
 from repro.service.latency import LatencyTracker
 from repro.service.partition import partition_filters, shard_of_oid
@@ -139,7 +140,9 @@ class _WorkerHandle:
         self.process = None
         self.tasks = None
         self.results = None
-        self.pending: dict[int, list[str]] = {}  # batch_id -> texts
+        # batch_id -> (texts, emit): everything needed to resubmit the
+        # batch verbatim after a crash, match streaming included.
+        self.pending: dict[int, tuple[list[str], bool]] = {}
         self.info: dict = {}
 
     @property
@@ -237,6 +240,20 @@ class ShardedFilterEngine:
         self.worker_restarts = 0
         self.idle_wakeups = 0
         self.latency = LatencyTracker()
+        #: Submit → first delivered match, per document that matched
+        #: anything (populated while an ``on_match`` sink is attached).
+        self.first_match = LatencyTracker()
+        #: Event-time match sink (FilterEngine protocol): fired as
+        #: worker match messages arrive, ahead of batch completion.
+        #: ``doc_index`` is relative to the current filter call;
+        #: ``event_index`` is the deciding event within the document.
+        #: Emission order is monotone per shard, not globally — shards
+        #: scan the same document independently.
+        self.on_match: MatchHook | None = None
+        # Document-index offset of the batch currently in flight —
+        # filter_events fans one call out over several filter_batch
+        # calls and on_match must report call-relative indexes.
+        self._doc_base = 0
         self._batch_counter = 0
         self._epoch = 0
         self._closed = False
@@ -377,8 +394,8 @@ class ShardedFilterEngine:
         if handle.process is not None:
             handle.process.join(timeout=1.0)
         self._spawn(handle)
-        for batch_id, texts in sorted(handle.pending.items()):
-            handle.tasks.put(("batch", batch_id, texts))
+        for batch_id, (texts, emit) in sorted(handle.pending.items()):
+            handle.tasks.put(("batch", batch_id, texts, emit))
 
     def _check_workers(self) -> None:
         for handle in self._workers.values():
@@ -519,20 +536,52 @@ class ShardedFilterEngine:
 
     def _filter_batch_serial(self, docs: list[Document]) -> list[frozenset[str]]:
         merged: list[set[str]] = [set() for _ in docs]
+        hook = self.on_match
         for offset in range(0, len(docs), self.batch_size):
             chunk = docs[offset : offset + self.batch_size]
             started = time.perf_counter()
             for index, doc in enumerate(chunk):
-                for engine in self._engines.values():
-                    merged[offset + index] |= engine.filter_document(doc)
+                if hook is None:
+                    for engine in self._engines.values():
+                        merged[offset + index] |= engine.filter_document(doc)
+                else:
+                    merged[offset + index] |= self._filter_document_emitting(
+                        doc, offset + index, started, hook
+                    )
             self.batches += 1
             self.latency.record(time.perf_counter() - started)
         return [frozenset(s) for s in merged]
+
+    def _filter_document_emitting(
+        self, doc: Document, doc_pos: int, started: float, hook: MatchHook
+    ) -> set[str]:
+        """One document through every in-process shard engine with the
+        event-time relay wired.  Shard workloads are disjoint, so no
+        cross-shard dedup is needed; the first relay fire records the
+        document's first-match latency against the batch start."""
+        matched: set[str] = set()
+        pending_first = [True]
+        doc_index = self._doc_base + doc_pos
+
+        def _relay(oid: str, _d: int, event_index: int) -> None:
+            if pending_first[0]:
+                pending_first[0] = False
+                self.first_match.record(time.perf_counter() - started)
+            hook(oid, doc_index, event_index)
+
+        for engine in self._engines.values():
+            engine.on_match = _relay
+            try:
+                matched |= engine.filter_document(doc)
+            finally:
+                engine.on_match = None
+        return matched
 
     def _filter_batch_parallel(self, docs: list[Document]) -> list[frozenset[str]]:
         texts = [document_to_xml(doc) for doc in docs]
         merged: list[set[str]] = [set() for _ in docs]
         outstanding: dict[int, dict] = {}
+        emit = self.on_match is not None
         for offset in range(0, len(texts), self.batch_size):
             while len(outstanding) >= self.queue_depth:
                 self._collect_once(outstanding, merged)
@@ -544,10 +593,16 @@ class ShardedFilterEngine:
                 "size": len(chunk),
                 "waiting": set(self._workers),
                 "started": time.perf_counter(),
+                # Event-time delivery bookkeeping: (doc_offset, oid)
+                # pairs already delivered (resubmitted batches re-stream
+                # their matches), and doc offsets whose first match has
+                # been latency-recorded.
+                "emitted": set(),
+                "firsts": set(),
             }
             for handle in self._workers.values():
-                handle.pending[batch_id] = chunk
-                self._put_task(handle, ("batch", batch_id, chunk))
+                handle.pending[batch_id] = (chunk, emit)
+                self._put_task(handle, ("batch", batch_id, chunk, emit))
         while outstanding:
             self._collect_once(outstanding, merged)
         return [frozenset(s) for s in merged]
@@ -609,6 +664,32 @@ class ShardedFilterEngine:
             if shard_id in self._workers:
                 self._workers[shard_id].info = info
             return
+        if kind == "match":
+            # Event-time delivery: a worker decided one match mid-batch.
+            # FIFO per-worker queues guarantee a shard's match messages
+            # precede its batch reply, so every match is folded in
+            # before the batch completes.
+            _, shard_id, batch_id, doc_offset, oid, event_index = message
+            info_entry = outstanding.get(batch_id)
+            if info_entry is None or shard_id not in info_entry["waiting"]:
+                return  # late duplicate from a pre-crash incarnation
+            key = (doc_offset, oid)
+            if key in info_entry["emitted"]:
+                return  # resubmitted batch re-streamed this match
+            info_entry["emitted"].add(key)
+            if doc_offset not in info_entry["firsts"]:
+                info_entry["firsts"].add(doc_offset)
+                self.first_match.record(
+                    time.perf_counter() - info_entry["started"]
+                )
+            hook = self.on_match
+            if hook is not None:
+                hook(
+                    oid,
+                    self._doc_base + info_entry["offset"] + doc_offset,
+                    event_index,
+                )
+            return
         if kind == "error":
             _, shard_id, batch_id, text = message
             raise ServiceError(f"shard {shard_id} failed on batch {batch_id}: {text}")
@@ -648,18 +729,23 @@ class ShardedFilterEngine:
         answers: list[frozenset[str]] = []
         buffer: list[Event] = []
         docs: list[Document] = []
-        for event in events:
-            buffer.append(event)
-            if isinstance(event, EndDocument):
+        try:
+            for event in events:
+                buffer.append(event)
+                if isinstance(event, EndDocument):
+                    docs.extend(documents_of_events(buffer))
+                    buffer = []
+                    if len(docs) >= self.batch_size:
+                        self._doc_base = len(answers)
+                        answers.extend(self.filter_batch(docs))
+                        docs = []
+            if buffer:
                 docs.extend(documents_of_events(buffer))
-                buffer = []
-                if len(docs) >= self.batch_size:
-                    answers.extend(self.filter_batch(docs))
-                    docs = []
-        if buffer:
-            docs.extend(documents_of_events(buffer))
-        if docs:
-            answers.extend(self.filter_batch(docs))
+            if docs:
+                self._doc_base = len(answers)
+                answers.extend(self.filter_batch(docs))
+        finally:
+            self._doc_base = 0
         return answers
 
     def filter_stream(
@@ -849,6 +935,7 @@ class ShardedFilterEngine:
             "queue_depths": depths,
             "per_shard": per_shard,
             "batch_latency": self.latency.snapshot(),
+            "first_match_latency": self.first_match.snapshot(),
         }
 
     def _shutdown_workers(self) -> None:

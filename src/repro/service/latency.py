@@ -1,17 +1,32 @@
-"""Batch-latency tracking for the sharded service's ``stats()``.
+"""Latency tracking for service/serving ``stats()`` surfaces.
 
-A bounded ring of recent batch latencies; percentiles use the
-nearest-rank method so they are exact over the retained window and
-need no numeric dependencies.
+A bounded ring of recent latencies; percentiles use the nearest-rank
+(ceil-rank) method so they are exact over the retained window and need
+no numeric dependencies.  ``snapshot()`` sorts the window once and
+reads every percentile from that one ordering.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 
+def _rank(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile by the explicit ceil-rank formula:
+    the smallest sample whose cumulative frequency is >= ``fraction``.
+    Unlike ``round()`` (banker's rounding — p50 over an even window is
+    unstable between the two middle samples), ``ceil`` is monotone in
+    ``fraction`` and deterministic."""
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    rank = math.ceil(fraction * n) - 1
+    return ordered[max(0, min(n - 1, rank))]
+
+
 class LatencyTracker:
-    """Records per-batch wall-clock latencies; reports percentiles."""
+    """Records wall-clock latencies (seconds); reports percentiles."""
 
     def __init__(self, window: int = 1024):
         self._samples: deque[float] = deque(maxlen=window)
@@ -23,18 +38,15 @@ class LatencyTracker:
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile over the retained window (seconds)."""
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
-        return ordered[rank]
+        return _rank(sorted(self._samples), fraction)
 
     def snapshot(self) -> dict:
         """Percentiles in milliseconds, as reported by ``stats()``."""
+        ordered = sorted(self._samples)
         return {
             "count": self.count,
-            "p50_ms": self.percentile(0.50) * 1000.0,
-            "p90_ms": self.percentile(0.90) * 1000.0,
-            "p99_ms": self.percentile(0.99) * 1000.0,
-            "max_ms": (max(self._samples) if self._samples else 0.0) * 1000.0,
+            "p50_ms": _rank(ordered, 0.50) * 1000.0,
+            "p90_ms": _rank(ordered, 0.90) * 1000.0,
+            "p99_ms": _rank(ordered, 0.99) * 1000.0,
+            "max_ms": (ordered[-1] if ordered else 0.0) * 1000.0,
         }

@@ -16,8 +16,12 @@ Protocol (plain picklable tuples):
 
 parent → worker, on the shard's task queue:
 
-- ``("batch", batch_id, [xml_text, ...])`` — filter each single-document
-  text, reply with one oid-set per text;
+- ``("batch", batch_id, [xml_text, ...], emit?)`` — filter each
+  single-document text, reply with one oid-set per text.  When the
+  optional ``emit`` flag is true, the worker additionally streams one
+  ``("match", ...)`` message per decided match *while the batch is
+  still running* (event-time earliest answering), ahead of the final
+  batch reply on the same FIFO queue;
 - ``("control", epoch, op, ...)`` — a workload update:
   ``("control", e, "subscribe", oid, xpath)``,
   ``("control", e, "unsubscribe", oid)`` or
@@ -34,6 +38,12 @@ parent → worker, on the shard's task queue:
 worker → parent, on the shared result queue:
 
 - ``("ready", shard_id, info)`` — engine built and warmed;
+- ``("match", shard_id, batch_id, doc_offset, oid, event_index)`` —
+  one event-time match decision (``doc_offset`` is the document's
+  position within the batch).  Always precedes the batch reply on the
+  queue, so the parent has folded every match in by the time the batch
+  completes; resubmitted batches re-stream their matches and the
+  parent dedupes on ``(doc_offset, oid)``;
 - ``("batch", shard_id, batch_id, [frozenset, ...], info)``;
 - ``("error", shard_id, batch_id, message)`` — a batch or control
   failed (bad document, internal error); the parent raises it.
@@ -129,17 +139,34 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
         if kind != "batch":
             results.put(("error", shard_id, None, f"unknown task {kind!r}"))
             continue
-        _, batch_id, texts = task
+        batch_id, texts = task[1], task[2]
+        emit = len(task) > 3 and bool(task[3])
+        answers: list = []
+        if emit:
+            # Stream each decided match the moment the inner engine's
+            # event-time hook fires — doc_base maps the engine's
+            # call-relative document index to the batch offset.
+            doc_base = 0
+
+            def _relay(oid: str, doc_index: int, event_index: int) -> None:
+                results.put(
+                    ("match", shard_id, batch_id, doc_base + doc_index, oid, event_index)
+                )
+
+            engine.on_match = _relay
         try:
             # The inner engine builds its machines with
             # retain_results=False, so the per-call return is the only
             # copy — nothing to clear between batches.
-            answers = []
             for text in texts:
+                doc_base = len(answers)
                 answers.extend(engine.filter_stream(text))
         except Exception as error:  # noqa: BLE001 - forwarded to the parent
             results.put(("error", shard_id, batch_id, repr(error)))
             continue
+        finally:
+            if emit:
+                engine.on_match = None
         results.put(
             ("batch", shard_id, batch_id, answers, _engine_info(engine, applied_epoch))
         )

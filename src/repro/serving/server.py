@@ -84,6 +84,7 @@ class FilterServer:
         default_policy: str = "block",
         high_watermark: int = 256,
         max_frame: int = MAX_FRAME,
+        early: bool = False,
     ):
         if engine is not None and (config is not None or filters is not None):
             raise WorkloadError("pass either a live engine or config/filters, not both")
@@ -97,6 +98,13 @@ class FilterServer:
         self.high_watermark = high_watermark
         self.max_frame = max_frame
         self.backend = (config or EngineConfig()).backend
+        #: Event-time earliest answering: when on, each publish wires
+        #: the engine's ``on_match`` hook and routed ``payload=False``
+        #: consumers receive per-match frames the moment the deciding
+        #: event is processed — before the publish ack.  Off by default:
+        #: delivery then stays the historical grouped per-document
+        #: fan-out after filtering completes.
+        self.early = early
 
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -114,6 +122,8 @@ class FilterServer:
         self._idle = asyncio.Event()
         self._idle.set()
         self._latency = LatencyTracker()
+        #: Publish receipt → first delivered match frame (early mode).
+        self._first_latency = LatencyTracker()
         self._counters: dict[str, int] = {
             "published_docs": 0,
             "publishes": 0,
@@ -122,6 +132,7 @@ class FilterServer:
             "partial_frames": 0,
             "http_requests": 0,
             "deliveries": 0,
+            "early_deliveries": 0,
             "delivery_drops": 0,
             "evictions": 0,
             "connections_total": 0,
@@ -206,16 +217,56 @@ class FilterServer:
                 self._idle.set()
 
     def _publish_job(
-        self, xml: str, want_payload: bool
-    ) -> tuple[int, int, list[frozenset[str]], list[str]]:
+        self, xml: str, want_payload: bool, start: float
+    ) -> tuple[
+        int, int, list[frozenset[str]], list[str], list[Any], dict[int, set[str]]
+    ]:
         """Executor-side publish: filter under one epoch, assign seqs.
 
         Runs on the engine thread; ``self._epoch``/``self._seq`` are
         only touched there, so the (epoch, answers) pairing is exact.
+        In early mode the engine's ``on_match`` hook is wired for the
+        duration of the call: each decided match schedules an
+        event-time delivery coroutine on the event loop *while the
+        document is still being filtered*.  The returned futures are
+        awaited by ``_op_publish`` before the final fan-out, and
+        ``delivered`` records what the early path handed out so the
+        final fan-out does not duplicate it.
         """
         epoch = self._epoch
-        results = self.engine.filter_stream(xml)
+        # Read before filtering: early frames carry their document's
+        # final seq, assigned below in the same engine-thread job.
         base_seq = self._seq
+        early_futures: list[Any] = []
+        delivered: dict[int, set[str]] = {}
+        if self.early:
+            loop = self._loop
+            assert loop is not None
+            pending_first = [True]
+
+            def _on_match(oid: str, doc_index: int, event_index: int) -> None:
+                early_futures.append(
+                    asyncio.run_coroutine_threadsafe(
+                        self._deliver_early(
+                            oid,
+                            base_seq + doc_index,
+                            epoch,
+                            event_index,
+                            doc_index,
+                            delivered,
+                            pending_first,
+                            start,
+                        ),
+                        loop,
+                    )
+                )
+
+            self.engine.on_match = _on_match
+        try:
+            results = self.engine.filter_stream(xml)
+        finally:
+            if self.early:
+                self.engine.on_match = None
         self._seq += len(results)
         payloads: list[str] = []
         if want_payload and results:
@@ -223,7 +274,55 @@ class FilterServer:
             from repro.xmlstream.writer import document_to_xml
 
             payloads = [document_to_xml(d) for d in parse_forest(xml, backend="python")]
-        return epoch, base_seq, results, payloads
+        return epoch, base_seq, results, payloads, early_futures, delivered
+
+    async def _deliver_early(
+        self,
+        oid: str,
+        seq: int,
+        epoch: int,
+        event_index: int,
+        doc_index: int,
+        delivered: dict[int, set[str]],
+        pending_first: list[bool],
+        start: float,
+    ) -> None:
+        """Deliver one event-time match to its routed consumer.
+
+        Runs on the event loop (scheduled from the engine thread), so
+        route/consumer lookups and the ``delivered`` bookkeeping are
+        loop-serialized.  Only ``payload=False`` consumers are eligible
+        — the document payload does not exist until filtering finishes —
+        and an offered frame wakes any parked long-poll immediately,
+        before the publish ack."""
+        name = self._routes.get(oid)
+        if name is None:
+            return
+        consumer = self._consumers.get(name)
+        if consumer is None or consumer.payload:
+            return
+        delivered.setdefault(doc_index, set()).add(oid)
+        event: Frame = {
+            "event": "match",
+            "seq": seq,
+            "epoch": epoch,
+            "oid": oid,
+            "oids": [oid],
+            "event_index": event_index,
+            "early": True,
+        }
+        was_open = not consumer.closed
+        if await consumer.offer(event):
+            if pending_first[0]:
+                pending_first[0] = False
+                self._first_latency.record(time.perf_counter() - start)
+            self._counters["deliveries"] += 1
+            self._counters["early_deliveries"] += 1
+        else:
+            self._counters["delivery_drops"] += 1
+            if was_open and consumer.evicted:
+                self._counters["evictions"] += 1
+                self._close_attachment(name, "slow_consumer")
 
     def _control_job(self, fn: Callable[[], None]) -> int:
         """Executor-side control verb: apply, then bump the epoch."""
@@ -263,8 +362,10 @@ class FilterServer:
         start = time.perf_counter()
         self._counters["publishes"] += 1
         try:
-            epoch, base_seq, results, payloads = await self._run_engine(
-                lambda: self._publish_job(xml, want_payload)
+            epoch, base_seq, results, payloads, early_futures, delivered = (
+                await self._run_engine(
+                    lambda: self._publish_job(xml, want_payload, start)
+                )
             )
         except ReproError:
             self._counters["publish_errors"] += 1
@@ -273,7 +374,14 @@ class FilterServer:
         self._counters["published_docs"] += len(results)
         if conn is not None:
             conn.published += len(results)
-        await self._fan_out(base_seq, epoch, results, payloads)
+        if early_futures:
+            # Early deliveries ran (or are running) on this loop already;
+            # settle them so `delivered` is complete before the final
+            # fan-out, and so block-policy backpressure still gates the ack.
+            await asyncio.gather(
+                *(asyncio.wrap_future(f) for f in early_futures)
+            )
+        await self._fan_out(base_seq, epoch, results, payloads, delivered)
         return {
             "ok": True,
             "epoch": epoch,
@@ -287,14 +395,22 @@ class FilterServer:
         epoch: int,
         results: list[frozenset[str]],
         payloads: list[str],
+        delivered: dict[int, set[str]] | None = None,
     ) -> None:
         """Deliver matched oids to the owning consumers, one event per
         (document, consumer).  Each offer applies that consumer's own
         policy, so one slow consumer never stalls the others (only a
-        ``block``-policy consumer delays this publisher's ack)."""
+        ``block``-policy consumer delays this publisher's ack).
+
+        *delivered* maps document index → oids the early path already
+        handed out for this publish; those are skipped here so a match
+        reaches each consumer exactly once."""
         for index, matched in enumerate(results):
+            already = delivered.get(index, set()) if delivered else set()
             per_consumer: dict[str, list[str]] = {}
             for oid in matched:
+                if oid in already:
+                    continue
                 name = self._routes.get(oid)
                 if name is not None and name in self._consumers:
                     per_consumer.setdefault(name, []).append(oid)
@@ -579,6 +695,7 @@ class FilterServer:
         out["connections"] = len(self._connections)
         out["inflight"] = self._inflight
         out["publish_latency"] = self._latency.snapshot()
+        out["first_match_latency"] = self._first_latency.snapshot()
         out["consumers"] = {
             name: consumer.stats() for name, consumer in sorted(self._consumers.items())
         }

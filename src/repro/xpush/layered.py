@@ -39,13 +39,13 @@ updated workload without re-parsing it).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import IO, Any, Iterable, Mapping, Union
+from typing import IO, Any, Callable, Iterable, Mapping, Union
 
 from repro.afa.build import build_workload_automata
 from repro.errors import WorkloadError
 from repro.xmlstream.dtd import DTD
 from repro.xmlstream.dom import Document
-from repro.xmlstream.events import Event, EventHandler, dispatch
+from repro.xmlstream.events import Event, EventHandler, dispatch, events_of_document
 from repro.xpath.ast import XPathFilter
 from repro.xpush.machine import XPushMachine
 from repro.xpush.options import XPushOptions
@@ -78,6 +78,7 @@ class _LayerFanout(EventHandler):
         engine = self.engine
         self._base = engine._base
         self._delta = engine._delta
+        engine._begin_emit_document(self._base, self._delta)
         if self._base is not None:
             self._base.start_document()
         if self._delta is not None:
@@ -149,6 +150,17 @@ class LayeredFilterEngine:
         #: the scanner feeds both layers at once, so neither machine
         #: can claim the stream for itself.
         self.bytes_processed = 0
+        #: Event-time match sink (FilterEngine protocol): fired at the
+        #: deciding event of whichever layer resolves the match, with
+        #: shadowed base-layer oids and tombstones suppressed exactly as
+        #: :meth:`_merge` suppresses them from the answer set.
+        self.on_match: Callable[[str, int, int], None] | None = None
+        # Per-call emission registers (the fanout's __slots__ keeps it
+        # lean, so these live on the engine): 0-based document index
+        # within the current filter call, and the oids already emitted
+        # for the current document.
+        self._emit_doc = -1
+        self._emitted: set[str] = set()
 
     @classmethod
     def from_xpath(
@@ -260,11 +272,52 @@ class LayeredFilterEngine:
         matched -= self._tombstones
         return frozenset(matched)
 
+    # -- event-time emission (FilterEngine on_match) -------------------
+
+    def _begin_emit_document(
+        self, base: XPushMachine | None, delta: XPushMachine | None
+    ) -> None:
+        """Called by the fanout at each document boundary: (un)wire the
+        layer machines' hooks for the next document.  With no sink the
+        machines run hook-free — the hot path pays nothing."""
+        self._emit_doc += 1
+        hook = self.on_match
+        if hook is None:
+            if base is not None:
+                base.on_match = None
+            if delta is not None:
+                delta.on_match = None
+            return
+        self._emitted = set()
+        if base is not None:
+            base.on_match = self._base_match
+        if delta is not None:
+            delta.on_match = self._delta_match
+
+    def _base_match(self, oid: str, _seq: int, event_index: int) -> None:
+        # Mirror _merge: a base-layer match never reaches the answer
+        # when the oid is tombstoned or redefined in the delta layer.
+        if oid in self._tombstones or oid in self._delta_filters:
+            return
+        self._emit(oid, event_index)
+
+    def _delta_match(self, oid: str, _seq: int, event_index: int) -> None:
+        if oid in self._tombstones:
+            return
+        self._emit(oid, event_index)
+
+    def _emit(self, oid: str, event_index: int) -> None:
+        if oid in self._emitted:
+            return
+        self._emitted.add(oid)
+        hook = self.on_match
+        if hook is not None:
+            hook(oid, self._emit_doc, event_index)
+
     def filter_document(self, document: Document) -> frozenset[str]:
-        return self._merge(
-            self._base.filter_document(document) if self._base is not None else frozenset(),
-            self._delta.filter_document(document) if self._delta is not None else frozenset(),
-        )
+        # One lockstep pass over both layers (not one pass per layer),
+        # so event-time emissions stay monotone in document order.
+        return self.filter_events(events_of_document(document))[0]
 
     def filter_events(self, events: Iterable[Event]) -> list[frozenset[str]]:
         """Filter a SAX event stream; one oid-set per document.
@@ -274,6 +327,7 @@ class LayeredFilterEngine:
         bounded memory the machines' own memory manager provides.
         """
         handler = _LayerFanout(self)
+        self._emit_doc = -1
         dispatch(iter(events), handler)
         return handler.answers
 
@@ -286,6 +340,7 @@ class LayeredFilterEngine:
         from repro.xmlstream.parser import parse_into
 
         handler = _LayerFanout(self)
+        self._emit_doc = -1
         self.bytes_processed += parse_into(source, handler, backend=backend or self.backend)
         return handler.answers
 

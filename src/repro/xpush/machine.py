@@ -51,7 +51,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import IO, TYPE_CHECKING, Iterable, Iterator
+from typing import IO, TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.afa.automaton import StateKind, WorkloadAutomata
 
@@ -309,6 +309,23 @@ class XPushMachine:
         #: monotonic document sequence number (not affected by
         #: ``clear_results``); training documents are not reported.
         self.on_result = None
+        #: Optional event-time sink: ``on_match(oid, doc_seq, event_index)``
+        #: fires the moment a filter's match is decided — at the closing
+        #: event that early notification resolves it (Sec. 5), or at the
+        #: ``endDocument`` event for matches only the bottom-up answer
+        #: settles.  Each oid fires at most once per document (memoised
+        #: pop entries re-deliver their notification set on hits; the
+        #: ``_early`` register dedupes), every ``end_document`` answer is
+        #: covered, emissions are monotone in ``event_index``, and
+        #: training documents are not reported.  ``doc_seq`` is the same
+        #: monotonic number ``on_result`` will carry for the document.
+        self.on_match: Callable[[str, int, int], None] | None = None
+        # Event counter behind ``on_match``'s event_index: startDocument
+        # is event 0, each subsequent SAX event pre-increments.
+        self._event_index = 0
+        # Oids already emitted on a pruned prefix before a schema
+        # fallback trip — the fallback replay must not re-fire them.
+        self._prefix_emitted: set[str] = set()
 
         if self.options.train:
             self.warm_up(seed=training_seed)
@@ -376,10 +393,12 @@ class XPushMachine:
         self._sp = 0
         self._content = 0
         self._early = set()
+        self._event_index = 0
 
     def start_element(self, label: str) -> None:
         stats = self.stats
         stats.events += 1
+        self._event_index += 1
         is_attribute = label.startswith("@")
         if not is_attribute and self._content == 1:
             raise MixedContentError(
@@ -409,6 +428,7 @@ class XPushMachine:
     def text(self, value: str) -> None:
         stats = self.stats
         stats.events += 1
+        self._event_index += 1
         if self._content == 2:
             raise MixedContentError("text after element children in the same parent")
         self._content = 1
@@ -438,6 +458,7 @@ class XPushMachine:
     def end_element(self, label: str) -> None:
         stats = self.stats
         stats.events += 1
+        self._event_index += 1
         sp = self._sp - 1
         if sp < 0:
             raise EventStreamError(
@@ -467,7 +488,20 @@ class XPushMachine:
             entry[0].ref = True
         lifted, notified = entry
         if notified:
-            self._early.update(notified)
+            hook = self.on_match
+            if hook is None or self._training:
+                self._early.update(notified)
+            else:
+                # Memoised pop entries re-deliver their notification set
+                # on every hit; the _early membership check dedupes so
+                # each oid fires at the first deciding event only.
+                early = self._early
+                seq = self._doc_seq
+                event_index = self._event_index
+                for oid in notified:
+                    if oid not in early:
+                        early.add(oid)
+                        hook(oid, seq, event_index)
         self._qt = parent_qt
         self._content = parent_content
         if lifted.size:
@@ -487,6 +521,7 @@ class XPushMachine:
     def end_document(self) -> frozenset[str]:
         stats = self.stats
         stats.events += 1
+        self._event_index += 1
         if self._sp:
             raise EventStreamError(
                 f"endDocument with {self._sp} unclosed element(s)"
@@ -495,6 +530,17 @@ class XPushMachine:
         accepted = self._qb.accepts
         if self._early:
             accepted = accepted | frozenset(self._early)
+        hook = self.on_match
+        if hook is not None and not self._training:
+            # Matches the bottom-up pass settled only at document end
+            # (or every match, when early notification is off) emit at
+            # the endDocument event, so on_match covers the full answer.
+            early = self._early
+            seq = self._doc_seq
+            event_index = self._event_index
+            for oid in accepted:
+                if oid not in early:
+                    hook(oid, seq, event_index)
         return self._record_result(accepted)
 
     def _record_result(self, accepted: frozenset[str]) -> frozenset[str]:
@@ -541,8 +587,19 @@ class XPushMachine:
                 ),
                 dtd=self.dtd,
             )
+            fallback.on_match = self._forward_match
             self._fallback = fallback
         return fallback
+
+    def _forward_match(self, oid: str, _seq: int, event_index: int) -> None:
+        """Relay an emission from the unpruned fallback under the outer
+        machine's document sequence, suppressing oids the pruned prefix
+        already fired before the trip (the replay re-discovers them)."""
+        if oid in self._prefix_emitted:
+            return
+        hook = self.on_match
+        if hook is not None:
+            hook(oid, self._doc_seq, event_index)
 
     def _trip_schema_fallback(self) -> "XPushMachine":
         """First violation in a document: replay the journal into the
@@ -551,6 +608,10 @@ class XPushMachine:
         self._violated = True
         self.stats.schema_fallbacks += 1
         fallback = self._ensure_fallback()
+        # Oids already fired at event time on the conforming prefix must
+        # not re-fire when the replay re-decides them (capture before
+        # the replay below — _forward_match consults this set live).
+        self._prefix_emitted = set(self._early)
         fallback.start_document()
         for kind, payload in self._journal:
             if kind == "s":
@@ -1179,6 +1240,12 @@ class XPushMachine:
         return hand, projected
 
     # ------------------------------------------------------------------
+
+    @property
+    def doc_seq(self) -> int:
+        """Monotonic finished-document count — the sequence number the
+        next document's ``on_result``/``on_match`` callbacks carry."""
+        return self._doc_seq
 
     @property
     def state_count(self) -> int:

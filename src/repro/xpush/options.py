@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.errors import OptionsError
+
 #: State-set representations the machine can run with.
 RUNTIMES = ("bitmask", "codegen", "sets")
 
@@ -134,22 +136,22 @@ class XPushOptions:
 
     def __post_init__(self):
         if self.early and not self.top_down:
-            raise ValueError("early notification requires top-down pruning (Sec. 5)")
+            raise OptionsError("early notification requires top-down pruning (Sec. 5)")
         if self.runtime not in RUNTIMES:
-            raise ValueError(f"unknown runtime {self.runtime!r}; known: {sorted(RUNTIMES)}")
+            raise OptionsError(f"unknown runtime {self.runtime!r}; known: {sorted(RUNTIMES)}")
         if self.codegen_max_handlers < 1:
-            raise ValueError("codegen_max_handlers must be positive")
+            raise OptionsError("codegen_max_handlers must be positive")
         if self.schema_mode not in SCHEMA_MODES:
-            raise ValueError(
+            raise OptionsError(
                 f"unknown schema_mode {self.schema_mode!r}; "
                 f"known: {sorted(SCHEMA_MODES)}"
             )
         if self.max_states is not None and self.max_states < 1:
-            raise ValueError("max_states must be positive")
+            raise OptionsError("max_states must be positive")
         if self.max_memory_bytes is not None and self.max_memory_bytes < 1:
-            raise ValueError("max_memory_bytes must be positive")
+            raise OptionsError("max_memory_bytes must be positive")
         if self.eviction not in EVICTION_POLICIES:
-            raise ValueError(
+            raise OptionsError(
                 f"unknown eviction policy {self.eviction!r}; "
                 f"known: {sorted(EVICTION_POLICIES)}"
             )
@@ -192,7 +194,7 @@ def variant_options(name: str) -> XPushOptions:
     try:
         return VARIANTS[name]
     except KeyError:
-        raise ValueError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}") from None
+        raise OptionsError(f"unknown variant {name!r}; known: {sorted(VARIANTS)}") from None
 
 
 def with_training(options: XPushOptions, train: bool = True) -> XPushOptions:

@@ -1,0 +1,220 @@
+"""Differential wall for event-time earliest answering (``on_match``).
+
+Every engine exposes an ``on_match`` hook that fires ``(oid,
+doc_index, event_index)`` the moment a filter is decided.  The wall
+pins the contract down across runtimes (sets / bitmask / codegen),
+engines (serial xpush / layered / sharded, serial and parallel) and
+schema modes (off / trust / validate, including the validate-replay
+fallback): the emitted oid set per document must equal the
+end-of-document answer set exactly, no oid may be emitted twice for
+one document, and — for the single-machine engines — emissions arrive
+in event order.  The sharded engine scans shards independently, so
+only the per-document *set* contract holds there, not a global event
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import EngineConfig, create_engine
+from repro.xmlstream.dom import parse_document
+from repro.xmlstream.writer import document_to_xml
+from repro.xpath.parser import parse_xpath
+from repro.xpath.semantics import matching_oids
+from repro.xpush.options import XPushOptions
+
+from tests.conftest import make_workload
+
+WORKLOAD = {
+    "q0": "//a[b = 1]",
+    "q1": "//c",
+    "q2": "/a[not(b)]",
+    "q3": "//a[@k = 'v' and b]",
+}
+
+DOCS = [
+    "<a><b>1</b></a>",
+    "<c/>",
+    "<a><d/></a>",
+    '<a k="v"><b>1</b><c/></a>',
+    "<a><b>2</b></a>",
+]
+
+RUNTIMES = ("sets", "bitmask", "codegen")
+
+#: Engines with a real event-time path (baselines are document-granular).
+EVENT_TIME_ENGINES = ("xpush", "layered", "sharded")
+
+
+def _early_options(runtime: str = "sets", **kwargs) -> XPushOptions:
+    return XPushOptions(
+        top_down=True, early=True, precompute_values=False, runtime=runtime, **kwargs
+    )
+
+
+def _config(kind: str, options: XPushOptions, dtd=None) -> EngineConfig:
+    if kind == "sharded":
+        return EngineConfig(
+            engine="sharded", shards=2, parallel=False, options=options, dtd=dtd
+        )
+    if kind == "sharded-parallel":
+        return EngineConfig(
+            engine="sharded", shards=2, parallel=True, options=options, dtd=dtd
+        )
+    return EngineConfig(engine=kind, options=options, dtd=dtd)
+
+
+def collect(engine, xml: str):
+    """Filter *xml* with the hook wired; return (answers, emissions)."""
+    emissions: list[tuple[str, int, int]] = []
+    engine.on_match = lambda oid, doc, ev: emissions.append((oid, doc, ev))
+    try:
+        answers = engine.filter_stream(xml)
+    finally:
+        engine.on_match = None
+    return answers, emissions
+
+
+def assert_emissions_cover(answers, emissions, *, event_ordered: bool) -> None:
+    """The three invariants: coverage, uniqueness, (optionally) order."""
+    per_doc: dict[int, list[tuple[str, int]]] = {}
+    for oid, doc, ev in emissions:
+        per_doc.setdefault(doc, []).append((oid, ev))
+    assert set(per_doc) <= set(range(len(answers))), "emission for unknown document"
+    for index, matched in enumerate(answers):
+        got = per_doc.get(index, [])
+        oids = [oid for oid, _ in got]
+        assert len(oids) == len(set(oids)), f"doc {index}: oid emitted twice"
+        assert set(oids) == set(matched), f"doc {index}: emissions != answers"
+        if event_ordered:
+            events = [ev for _, ev in got]
+            assert events == sorted(events), f"doc {index}: out of event order"
+
+
+def _expected(workload, xml_docs):
+    filters = [parse_xpath(source, oid) for oid, source in workload.items()]
+    return [matching_oids(filters, parse_document(xml)) for xml in xml_docs]
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("kind", EVENT_TIME_ENGINES)
+def test_emissions_equal_answers(kind, runtime):
+    engine = create_engine(_config(kind, _early_options(runtime)), WORKLOAD)
+    try:
+        answers, emissions = collect(engine, "".join(DOCS))
+    finally:
+        engine.close()
+    assert answers == _expected(WORKLOAD, DOCS)
+    assert_emissions_cover(answers, emissions, event_ordered=(kind != "sharded"))
+    if kind != "sharded":
+        doc_order = [doc for _, doc, _ in emissions]
+        assert doc_order == sorted(doc_order), "documents out of stream order"
+
+
+@pytest.mark.parametrize("runtime", ("sets", "codegen"))
+def test_parallel_sharded_workers_stream_matches(runtime):
+    """The worker-process path: matches cross the result queue as
+    ``("match", ...)`` messages ahead of the batch reply."""
+    engine = create_engine(
+        _config("sharded-parallel", _early_options(runtime)), WORKLOAD
+    )
+    try:
+        answers, emissions = collect(engine, "".join(DOCS))
+    finally:
+        engine.close()
+    assert answers == _expected(WORKLOAD, DOCS)
+    assert_emissions_cover(answers, emissions, event_ordered=False)
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("mode", ["off", "trust", "validate"])
+def test_emissions_under_schema_modes(mode, runtime, protein, protein_docs):
+    filters = make_workload(protein, 20, seed=77)
+    options = replace(_early_options(runtime), schema_mode=mode)
+    engine = create_engine(
+        EngineConfig(engine="xpush", options=options, dtd=protein.dtd),
+        filters,
+    )
+    xml = "".join(document_to_xml(doc) for doc in protein_docs[:8])
+    try:
+        answers, emissions = collect(engine, xml)
+    finally:
+        engine.close()
+    assert answers == [matching_oids(filters, doc) for doc in protein_docs[:8]]
+    assert_emissions_cover(answers, emissions, event_ordered=True)
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+def test_emissions_through_validate_replay(runtime, protein, nasa, protein_docs, nasa_docs):
+    """Nonconforming documents trip the validate fallback mid-document;
+    the replay on the unpruned machine must not re-emit oids the pruned
+    prefix already delivered, and must still cover the answer set."""
+    filters = list(make_workload(protein, 12, seed=11))
+    for index, f in enumerate(make_workload(nasa, 12, seed=12)):
+        filters.append(parse_xpath(f.source, f"nasa{index}"))
+    options = replace(_early_options(runtime), schema_mode="validate")
+    engine = create_engine(
+        EngineConfig(engine="xpush", options=options, dtd=protein.dtd),
+        filters,
+    )
+    stream = protein_docs[:2] + nasa_docs[:4] + protein_docs[2:4]
+    xml = "".join(document_to_xml(doc) for doc in stream)
+    try:
+        answers, emissions = collect(engine, xml)
+        fallbacks = engine.stats()["schema_fallbacks"]
+    finally:
+        engine.close()
+    # The sets runtime always runs unpruned (it is the executable spec),
+    # so only the compiled runtimes have a fallback to trip.
+    assert fallbacks == (0 if runtime == "sets" else 4)
+    assert answers == [matching_oids(filters, doc) for doc in stream]
+    assert_emissions_cover(answers, emissions, event_ordered=True)
+
+
+@pytest.mark.parametrize("kind", EVENT_TIME_ENGINES)
+def test_hook_covers_answers_without_early_option(kind):
+    """With ``early=False`` nothing is decided before end-of-document,
+    but the hook still fires there — the hook is usable regardless of
+    the machine option, it just fires later."""
+    options = XPushOptions(top_down=True, precompute_values=False)
+    engine = create_engine(_config(kind, options), WORKLOAD)
+    try:
+        answers, emissions = collect(engine, "".join(DOCS))
+    finally:
+        engine.close()
+    assert answers == _expected(WORKLOAD, DOCS)
+    assert_emissions_cover(answers, emissions, event_ordered=(kind != "sharded"))
+
+
+@pytest.mark.parametrize("kind", ["naive", "eager"])
+def test_rebuild_engines_emit_at_document_granularity(kind):
+    """Baseline engines re-evaluate whole documents: they honour the
+    hook contract with the ``-1`` no-event-time sentinel."""
+    engine = create_engine(EngineConfig(engine=kind), WORKLOAD)
+    try:
+        answers, emissions = collect(engine, "".join(DOCS))
+    finally:
+        engine.close()
+    assert answers == _expected(WORKLOAD, DOCS)
+    assert all(ev == -1 for _, _, ev in emissions)
+    assert_emissions_cover(answers, emissions, event_ordered=False)
+
+
+def test_layered_updates_respect_emission_routing():
+    """After unsubscribe/resubscribe the delta machine owns the oid:
+    exactly one emission per (doc, oid) even while both layers match."""
+    engine = create_engine(_config("layered", _early_options()), WORKLOAD)
+    try:
+        engine.unsubscribe("q1")
+        engine.subscribe("q1", "//c")  # now lives in the delta layer
+        engine.subscribe("q4", "//d")
+        answers, emissions = collect(engine, "".join(DOCS))
+    finally:
+        engine.close()
+    workload = dict(WORKLOAD)
+    workload["q4"] = "//d"
+    assert answers == _expected(workload, DOCS)
+    assert_emissions_cover(answers, emissions, event_ordered=True)

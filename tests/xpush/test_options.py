@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import OptionsError, WorkloadError
 from repro.xpush.options import VARIANTS, XPushOptions, variant_options, with_training
 
 
@@ -16,6 +17,21 @@ def test_early_requires_top_down():
     with pytest.raises(ValueError):
         XPushOptions(early=True, top_down=False)
     XPushOptions(early=True, top_down=True)  # fine
+
+
+def test_validation_raises_options_error():
+    """Config-surface failures carry one type.  ``OptionsError`` is
+    both a ``WorkloadError`` (the repo-wide config failure class) and a
+    ``ValueError`` (what these checks historically raised), so old
+    callers keep working."""
+    with pytest.raises(OptionsError) as caught:
+        XPushOptions(early=True, top_down=False)
+    assert isinstance(caught.value, WorkloadError)
+    assert isinstance(caught.value, ValueError)
+    with pytest.raises(OptionsError):
+        XPushOptions(runtime="quantum")
+    with pytest.raises(OptionsError):
+        variant_options("nope")
 
 
 def test_describe():
