@@ -191,6 +191,31 @@ def cmd_compact(args) -> int:
     return 0
 
 
+def cmd_rebalance(args) -> int:
+    engine = _load_state(args.state, "sharded")
+    try:
+        rebalance = getattr(engine, "rebalance", None)
+        if rebalance is None:
+            raise ReproError(
+                f"{args.state}: engine {engine.stats().get('engine')!r} "
+                "has no shards to rebalance"
+            )
+        moves = rebalance()
+        _save_state(engine, args.state)
+        stats = engine.stats()
+    finally:
+        engine.close()
+    for move in moves:
+        print(f"  {move.oid}: shard {move.source} -> {move.target}", file=sys.stderr)
+    print(
+        f"# rebalanced {args.state}: {len(moves)} moves, "
+        f"imbalance {stats.get('imbalance', 1.0):.3f} "
+        f"over {stats.get('shards', 1)} shards",
+        file=sys.stderr,
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
@@ -260,6 +285,7 @@ def cmd_filter(args) -> int:
             strategy=args.strategy,
             batch_size=args.batch_size,
             backend=args.backend,
+            placement=args.placement,
         ) as engine:
             start = time.perf_counter()
             results = engine.filter_stream(text)
@@ -267,6 +293,7 @@ def cmd_filter(args) -> int:
             stats = engine.stats()
         footer = (
             f"{args.shards} shards ({stats['strategy']}"
+            f"{', ' + stats['placement'] + ' placement' if stats['placement'] != 'hash' else ''}"
             f"{', serial fallback' if stats['serial_fallback'] else ''}), "
             f"{sum(e['xpush_states'] for e in stats['per_shard'])} states, "
             f"{stats['worker_restarts']} restarts"
@@ -314,6 +341,7 @@ def cmd_serve(args) -> int:
         engine=args.engine,
         backend=args.backend,
         shards=max(args.shards, 1) if args.engine == "sharded" else 1,
+        placement=args.placement if args.engine == "sharded" else "hash",
         batch_size=args.batch_size,
         parallel=None if args.engine == "sharded" else False,
         dtd=dtd,
@@ -467,9 +495,49 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _explain_placement(args, filters) -> int:
+    """Dump the placement cost table and compare hash vs cost shard
+    loads (``repro explain --placement``)."""
+    from repro.service.partition import shard_of_oid
+    from repro.service.placement import CostModel, imbalance, place_filters, shard_loads
+
+    model = CostModel()
+    for xpath_filter in filters:
+        model.add(xpath_filter)
+    if args.sample > 0:
+        dataset = _dataset(args.dataset, args.seed)
+        model.seed(filters, list(dataset.documents(args.sample)))
+        print(
+            f"# selectivity sampled over {args.sample} {args.dataset} documents",
+            file=sys.stderr,
+        )
+    print(f"{'oid':<24} {'states':>6} {'sigma':>7} {'cost':>9}")
+    for row in model.table():
+        print(f"{row.oid:<24} {row.states:>6} {row.selectivity:>7.3f} {row.cost:>9.2f}")
+    shards = max(args.shards, 1)
+    costs = model.costs()
+    hash_routing = {f.oid: shard_of_oid(f.oid, shards) for f in filters}
+    hash_loads = shard_loads(hash_routing, costs, shards)
+    cost_routing = {
+        f.oid: shard
+        for shard, placed in enumerate(place_filters(filters, shards, model))
+        for f in placed
+    }
+    cost_loads = shard_loads(cost_routing, costs, shards)
+    print()
+    for policy, loads in (("hash", hash_loads), ("cost", cost_loads)):
+        rendered = ", ".join(f"{load:.1f}" for load in loads)
+        print(
+            f"{policy:<5} placement over {shards} shards: "
+            f"loads [{rendered}], imbalance {imbalance(loads):.3f}"
+        )
+    return 0
+
+
 def cmd_explain(args) -> int:
     """Show the compiled form of a whole workload — counts by default,
-    the generated straight-line Python with ``--codegen``."""
+    the generated straight-line Python with ``--codegen``, the
+    placement cost table with ``--placement``."""
     from repro.xpush.options import XPushOptions
 
     if not args.query and not args.queries:
@@ -477,6 +545,8 @@ def cmd_explain(args) -> int:
     filters = (
         [parse_xpath(args.query, "q")] if args.query else _load_queries(args.queries)
     )
+    if args.placement:
+        return _explain_placement(args, filters)
     workload = build_workload_automata(filters)
     print(f"filters     : {len(workload.afas)}")
     print(f"AFA states  : {workload.state_count}")
@@ -623,6 +693,7 @@ def cmd_bench(args) -> int:
             dtd=dataset.dtd,
             batch_size=args.batch_size,
             backend=args.backend,
+            placement=args.placement,
         ) as engine:
             engine.filter_batch(documents)  # warm the shard machines
             start = time.perf_counter()
@@ -668,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strategy", default="hash",
                    choices=["hash", "round_robin", "size_balanced"],
                    help="shard partitioning strategy")
+    p.add_argument("--placement", default="hash", choices=["hash", "cost"],
+                   help="routing policy for filters in sharded mode "
+                        "(cost = selectivity-weighted LPT, docs/scaling.md)")
     p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
                    help="parser backend for the push-mode event path "
                         "(auto = expat when available)")
@@ -721,6 +795,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser(
+        "rebalance",
+        help="migrate filters between a sharded state file's shards until balanced",
+    )
+    p.add_argument("--state", required=True, help="sharded engine state file (JSON)")
+    p.set_defaults(func=cmd_rebalance)
+
+    p = sub.add_parser(
         "serve",
         help="run the network serving tier (TCP frames + HTTP on one port)",
     )
@@ -735,6 +816,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "live updates never flush the warmed base)")
     p.add_argument("--shards", type=int, default=2,
                    help="shard count when --engine sharded")
+    p.add_argument("--placement", default="hash", choices=["hash", "cost"],
+                   help="shard placement policy when --engine sharded "
+                        "(cost = selectivity-driven cost model, "
+                        "lightest-shard routing for live subscribes)")
     p.add_argument("--batch-size", type=int, default=16,
                    help="documents per work item when --engine sharded")
     p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
@@ -805,6 +890,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show the DTD×AFA specialization: pruned states and "
                         "edges, per-depth label sets, derived depth bound")
     p.add_argument("--dtd", help="DTD file for --schema")
+    p.add_argument("--placement", action="store_true",
+                   help="dump the placement cost table (AFA states × σ̂) and "
+                        "compare hash vs cost shard loads")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard count the --placement comparison partitions over")
+    p.add_argument("--dataset", default="protein",
+                   choices=["protein", "nasa", "auction"],
+                   help="document pool --placement samples σ from")
+    p.add_argument("--sample", type=int, default=0,
+                   help="documents to sample for σ estimation (0 = skip "
+                        "sampling, costs reduce to AFA state counts)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sample-pool seed for --placement")
     p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("bench", help="one-shot throughput measurement")
@@ -818,6 +916,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also measure a sharded engine with N worker processes")
     p.add_argument("--batch-size", type=int, default=16,
                    help="documents per work item in sharded mode")
+    p.add_argument("--placement", default="hash", choices=["hash", "cost"],
+                   help="routing policy for filters in sharded mode")
     p.add_argument("--backend", default="auto", choices=["python", "expat", "auto"],
                    help="parser backend for the push-mode event path")
     p.add_argument("--runtime", default="bitmask", choices=sorted(RUNTIMES),

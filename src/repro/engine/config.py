@@ -63,6 +63,17 @@ class EngineConfig:
             keeps insertions from flushing the warmed base tables.
         strategy: initial workload partitioning strategy
             (:data:`repro.service.PARTITION_STRATEGIES`).
+        placement: post-boot routing policy of the placement layer
+            (:mod:`repro.service.placement`): ``"hash"`` keeps CRC-32
+            oid routing; ``"cost"`` boots via cost-model LPT (subsuming
+            *strategy*) and routes new subscribes to the lightest
+            shard.
+        rebalance_threshold: load imbalance (hottest shard over mean,
+            >= 1.0) above which ``rebalance()``/``maybe_rebalance()``
+            plan filter migrations.
+        rebalance_interval: under ``placement="cost"``, check the
+            imbalance gauge and auto-rebalance every N processed
+            batches (0 = manual rebalancing only).
         batch_size: documents per work item fanned out to the shards.
         queue_depth: max in-flight work items (backpressure bound).
         parallel: force worker processes on (True), off (False) or
@@ -84,6 +95,9 @@ class EngineConfig:
     shards: int = 1
     inner: str = "layered"
     strategy: str = "hash"
+    placement: str = "hash"
+    rebalance_threshold: float = 1.5
+    rebalance_interval: int = 0
     batch_size: int = 16
     queue_depth: int = 4
     parallel: bool | None = None
@@ -115,12 +129,25 @@ class EngineConfig:
         # Deferred import: repro.service.partition is leaf-light, but
         # importing it at module level would pull repro.service.__init__
         # (which imports the engine package) into a cycle.
-        from repro.service.partition import PARTITION_STRATEGIES
+        from repro.service.partition import PARTITION_STRATEGIES, PLACEMENT_POLICIES
 
         if self.strategy not in PARTITION_STRATEGIES:
             raise WorkloadError(
                 f"unknown partition strategy {self.strategy!r}; "
                 f"known: {sorted(PARTITION_STRATEGIES)}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise WorkloadError(
+                f"unknown placement policy {self.placement!r}; "
+                f"known: {sorted(PLACEMENT_POLICIES)}"
+            )
+        if self.rebalance_threshold < 1.0:
+            raise WorkloadError(
+                f"rebalance_threshold must be >= 1.0, got {self.rebalance_threshold}"
+            )
+        if self.rebalance_interval < 0:
+            raise WorkloadError(
+                f"rebalance_interval must be >= 0, got {self.rebalance_interval}"
             )
         if self.result_timeout <= 0:
             raise WorkloadError(

@@ -27,6 +27,15 @@ The contract, in paper terms:
   carries on from the exact workload version it crashed at;
 - **observability and lifecycle**: ``stats()`` and ``close()``.
 
+Beyond the required surface, engines may expose **optional control
+verbs** that callers discover with ``getattr`` — the serving tier and
+broker forward them over the wire only when present: ``compact()``
+(fold the layered delta into the base, PR 5's update plane) and, on
+the sharded service, the placement verbs ``rebalance()`` /
+``split()`` / ``merge()`` (:mod:`repro.service.placement`).  Engines
+without a verb simply do not grow stubs for it; absence is the
+capability signal.
+
 The protocol is ``runtime_checkable`` so tests can assert conformance
 with ``isinstance``; the typed contract is enforced by the strict
 ``mypy`` pass over this package in CI.
@@ -114,7 +123,11 @@ class FilterEngine(Protocol):
 
     def stats(self) -> dict[str, Any]:
         """Engine counters; every engine includes at least ``engine``
-        (its registry name) and ``filters`` (the live filter count)."""
+        (its registry name), ``filters`` (the live filter count) and
+        the uniform placement gauge block — ``shard_load`` (per-shard
+        cost list; length 1 on serial engines) and ``imbalance``
+        (hottest shard over mean, 1.0 when balanced) — so dashboards
+        never special-case engine kinds."""
         ...
 
     def close(self) -> None:

@@ -245,6 +245,11 @@ class RebuildFilterEngine:
             "filters": len(self._filters),
             "rebuilds": self.rebuilds,
             "stale": self._inner is None,
+            # Uniform placement gauge block: a serial engine is one
+            # "shard" whose load is its filter count; richer engines
+            # override the load with their automaton weight.
+            "shard_load": [float(len(self._filters))],
+            "imbalance": 1.0,
         }
 
     def close(self) -> None:
@@ -358,6 +363,7 @@ class SerialXPushEngine(RebuildFilterEngine):
         out["runtime"] = self.config.options.runtime
         out["schema_mode"] = self.config.options.schema_mode
         out["backend"] = self.config.backend
+        out["shard_load"] = [float(out["afa_states"])]
         return out
 
     def snapshot(self) -> dict[str, Any]:

@@ -12,6 +12,11 @@ schema-based event-processor scheduling):
 
 - :mod:`repro.service.partition` — workload partitioning strategies
   (``hash``, ``round_robin``, ``size_balanced`` by AFA state count);
+- :mod:`repro.service.placement` — the selectivity-driven placement
+  layer: a per-filter cost model (AFA states × estimated σ), LPT boot
+  placement, lightest-shard routing for post-boot subscribes, load /
+  imbalance gauges and the ``rebalance`` / ``split`` / ``merge``
+  migration planners;
 - :mod:`repro.service.worker` — the worker-process main loop; shards
   are shipped as :mod:`repro.xpush.persist` snapshots so workers skip
   re-parsing and re-compiling, then warmed via ``warm_up()``;
@@ -25,11 +30,36 @@ See ``docs/scaling.md`` for the operational contract.
 """
 
 from repro.service.engine import ServiceError, ShardedFilterEngine
-from repro.service.partition import PARTITION_STRATEGIES, partition_filters
+from repro.service.partition import (
+    PARTITION_STRATEGIES,
+    PLACEMENT_POLICIES,
+    partition_filters,
+)
+from repro.service.placement import (
+    CostModel,
+    FilterCost,
+    Move,
+    imbalance,
+    place_filters,
+    plan_drain,
+    plan_rebalance,
+    route_new,
+    shard_loads,
+)
 
 __all__ = [
     "PARTITION_STRATEGIES",
+    "PLACEMENT_POLICIES",
+    "CostModel",
+    "FilterCost",
+    "Move",
     "ServiceError",
     "ShardedFilterEngine",
+    "imbalance",
     "partition_filters",
+    "place_filters",
+    "plan_drain",
+    "plan_rebalance",
+    "route_new",
+    "shard_loads",
 ]

@@ -34,10 +34,31 @@ are first-class while the engine serves traffic:
 
 - every update bumps the engine *epoch* and is eagerly validated in
   the parent (bad XPath or duplicate oid never reaches a worker);
-- new oids route to a shard by consistent hash
-  (:func:`~repro.service.partition.shard_of_oid`), so routing is
-  reproducible across restarts; oids from the initial partition keep
-  the shard the strategy gave them, remembered in a routing map;
+- an explicit oid→shard **routing table** is the single source of
+  truth for ownership: it is carried in snapshots and projected into
+  every worker boot payload (``payload["oids"]``), so placement never
+  has to be re-derived by hashing.  New oids route through the
+  placement layer (:mod:`repro.service.placement`):
+  ``placement="hash"`` keeps consistent CRC-32 routing
+  (:func:`~repro.service.partition.shard_of_oid`, reproducible across
+  restarts); ``placement="cost"`` routes to the lightest shard by the
+  per-filter cost model (AFA states × σ̂) — which also closes the old
+  mismatch where post-boot subscribes always hashed even under a
+  ``size_balanced`` boot;
+- **hot-shard management** rides the same control plane:
+  ``rebalance()`` migrates filter subsets between shards when the
+  cost-model imbalance gauge crosses ``rebalance_threshold``
+  (optionally auto-checked every ``rebalance_interval`` batches),
+  ``split()`` adds a shard and populates it, ``merge()`` drains and
+  retires the last shard.  Each verb is one epoch: a migration is a
+  payload-folded subscribe on the target plus an unsubscribe on the
+  source (add before remove — transient double-residency is benign
+  because answers are unioned, a gap would drop matches).  These verbs
+  run between batch fan-outs, and ``filter_batch`` fully drains its
+  in-flight work before returning, so no document ever straddles a
+  migration: every batch is answered entirely pre-move or entirely
+  post-move, and a worker crash mid-migration reboots from the folded
+  payload exactly like any other update;
 - in parallel mode the update is *folded into the target worker's
   boot payload first*, then sent as an epoch-stamped control message
   on the same FIFO task queue as batches.  FIFO ordering makes the
@@ -66,6 +87,16 @@ from repro.engine.protocol import MatchHook
 from repro.errors import ReproError, WorkloadError
 from repro.service.latency import LatencyTracker
 from repro.service.partition import partition_filters, shard_of_oid
+from repro.service.placement import (
+    CostModel,
+    Move,
+    imbalance,
+    place_filters,
+    plan_drain,
+    plan_rebalance,
+    route_new,
+    shard_loads,
+)
 from repro.xmlstream.dom import Document, documents_of_events, parse_forest
 from repro.xmlstream.dtd import DTD
 from repro.xmlstream.events import EndDocument, Event
@@ -128,6 +159,23 @@ def _picklable(value) -> bool:
         return True
     except Exception:  # noqa: BLE001 - any failure means "do not ship it"
         return False
+
+
+def _snapshot_sources(snap: dict | None) -> dict[str, str]:
+    """The live oid → XPath sources a shard snapshot describes (base
+    plus delta minus tombstones for the layered format, the filters
+    mapping otherwise)."""
+    if not isinstance(snap, dict):
+        return {}
+    if snap.get("format") == LAYERED_FORMAT:
+        base = snap.get("base") or {"afas": []}
+        sources = {str(afa["oid"]): str(afa["source"]) for afa in base["afas"]}
+        for oid, xpath in snap.get("delta", {}).items():
+            sources[str(oid)] = str(xpath)
+        for oid in snap.get("tombstones", []):
+            sources.pop(str(oid), None)
+        return sources
+    return {str(oid): str(xpath) for oid, xpath in snap.get("filters", {}).items()}
 
 
 class _WorkerHandle:
@@ -200,6 +248,8 @@ class ShardedFilterEngine:
         result_timeout: float = 60.0,
         start_method: str | None = None,
         backend: str = "auto",
+        placement: str = "hash",
+        sample_documents: Sequence[Document] | None = None,
     ):
         if config is None:
             config = EngineConfig(
@@ -210,6 +260,7 @@ class ShardedFilterEngine:
                 backend=backend,
                 shards=int(shards),
                 strategy=strategy,
+                placement=placement,
                 batch_size=int(batch_size),
                 queue_depth=int(queue_depth),
                 parallel=parallel,
@@ -224,6 +275,9 @@ class ShardedFilterEngine:
         self.options = config.options
         self.dtd = config.dtd
         self.strategy = config.strategy
+        self.placement = config.placement
+        self.rebalance_threshold = config.rebalance_threshold
+        self.rebalance_interval = config.rebalance_interval
         self.batch_size = config.batch_size
         self.queue_depth = config.queue_depth
         self.warm = config.warm
@@ -239,7 +293,17 @@ class ShardedFilterEngine:
         self.batches = 0
         self.worker_restarts = 0
         self.idle_wakeups = 0
+        self.rebalances = 0
+        self.splits = 0
+        self.merges = 0
+        self.migrations = 0
         self.latency = LatencyTracker()
+        #: Per-fan-out critical path — the slowest shard's share of each
+        #: batch.  In parallel mode this equals the batch latency; in
+        #: the serial fallback it is measured per shard and *modelled*
+        #: (what an ideally parallel run of this placement would cost),
+        #: which is what the placement benchmarks gate on.
+        self.critical_path = LatencyTracker()
         #: Submit → first delivered match, per document that matched
         #: anything (populated while an ``on_match`` sink is attached).
         self.first_match = LatencyTracker()
@@ -260,9 +324,28 @@ class ShardedFilterEngine:
         self._engines: dict[int, Any] = {}  # serial fallback, shard -> engine
         self._workers: dict[int, _WorkerHandle] = {}
         self._payloads: dict[int, dict] = {}
-        #: oid → owning shard, for every *live* subscription.  Initial
-        #: oids keep the strategy's placement; later ones hash.
-        self._live_oids: dict[str, int] = {}
+        #: The routing table: oid → owning shard for every *live*
+        #: subscription — the single source of truth for placement,
+        #: carried in snapshots and projected into worker payloads.
+        self._routing: dict[str, int] = {}
+        #: oid → XPath source, retained for migrations (a move re-sends
+        #: the filter to its new shard as a subscribe control).
+        self._sources: dict[str, str] = {}
+        #: Per-filter cost model (AFA states × σ̂); maintained under
+        #: both policies so the load gauges never go dark.
+        self._cost = CostModel()
+        #: Cumulative per-shard busy seconds in the serial fallback
+        #: (parallel workers measure their own and report it in info).
+        self._busy: dict[int, float] = {}
+        # Batch count at the last auto-rebalance check.
+        self._auto_marker = 0
+        for xpath_filter in self.filters:
+            self._cost.add(xpath_filter)
+            self._sources[xpath_filter.oid] = xpath_filter.source or str(
+                xpath_filter.path
+            )
+        if sample_documents:
+            self._cost.seed(self.filters, list(sample_documents))
 
         self._ctx = None
         parallel = config.parallel
@@ -272,10 +355,13 @@ class ShardedFilterEngine:
             self._ctx = _mp_context(config.start_method)
         self.parallel = self._ctx is not None
 
-        shard_filters = partition_filters(self.filters, self.shards, self.strategy)
+        if self.placement == "cost":
+            shard_filters = place_filters(self.filters, self.shards, self._cost)
+        else:
+            shard_filters = partition_filters(self.filters, self.shards, self.strategy)
         for shard_id, shard in enumerate(shard_filters):
             for xpath_filter in shard:
-                self._live_oids[xpath_filter.oid] = shard_id
+                self._routing[xpath_filter.oid] = shard_id
         if self.parallel:
             self._boot_workers(shard_filters)
         else:
@@ -312,25 +398,31 @@ class ShardedFilterEngine:
                     warm_up(seed=self.training_seed)
             self._engines[shard_id] = engine
 
-    def _boot_workers(self, shard_filters: list[list[XPathFilter]]) -> None:
-        from repro.service.worker import build_payload
+    def _worker_config(self) -> EngineConfig:
+        """The inner config shipped across the process boundary.
 
+        A DTD that cannot be pickled is dropped; the order optimisation
+        and schema specialization need it, so those switch off in the
+        workers — performance knobs only, answers are unchanged.
+        """
         dtd = self.dtd
         options = self.options
         if dtd is not None and not _picklable(dtd):
-            # A DTD that cannot cross the process boundary is dropped;
-            # the order optimisation and schema specialization need it,
-            # so switch those off in the workers — performance knobs
-            # only, answers are unchanged.
             dtd = None
             options = replace(options, order=False, train=False, schema_mode="off")
-        inner_config = self._inner_config(dtd=dtd, options=options)
+        return self._inner_config(dtd=dtd, options=options)
+
+    def _boot_workers(self, shard_filters: list[list[XPathFilter]]) -> None:
+        from repro.service.worker import build_payload
+
+        inner_config = self._worker_config()
         for shard_id in range(self.shards):
             self._payloads[shard_id] = build_payload(
                 inner_config,
                 self._shard_snapshot(shard_filters[shard_id]),
                 warm=self.warm,
                 training_seed=self.training_seed,
+                oids=[f.oid for f in shard_filters[shard_id]],
             )
             handle = _WorkerHandle(shard_id)
             self._workers[shard_id] = handle
@@ -408,24 +500,40 @@ class ShardedFilterEngine:
 
     @property
     def filter_count(self) -> int:
-        return len(self._live_oids)
+        return len(self._routing)
 
     @property
     def epoch(self) -> int:
         """The workload version: bumped by every update."""
         return self._epoch
 
+    @property
+    def routing(self) -> dict[str, int]:
+        """A copy of the oid → shard routing table."""
+        return dict(self._routing)
+
+    def _route_new(self, oid: str) -> int:
+        """Shard for a post-boot subscribe, per the placement policy."""
+        if self.placement != "cost":
+            return shard_of_oid(oid, self.shards)
+        loads = shard_loads(self._routing, self._cost.costs(), self.shards)
+        return route_new(oid, loads, "cost")
+
     def subscribe(self, oid: str, xpath: str) -> None:
         """Add a filter while serving.  Validated here, applied on the
-        owning shard without flushing its warmed base tables."""
+        shard the placement policy picks (CRC-32 under ``hash``, the
+        lightest shard under ``cost``) without flushing its warmed base
+        tables."""
         if self._closed:
             raise ServiceError("engine is closed")
-        if oid in self._live_oids:
+        if oid in self._routing:
             raise WorkloadError(f"oid {oid!r} already subscribed")
-        parse_xpath(xpath, oid)  # eager validation; workers trust the parent
-        shard_id = shard_of_oid(oid, self.shards)
+        parsed = parse_xpath(xpath, oid)  # eager; workers trust the parent
+        shard_id = self._route_new(oid)
         self._epoch += 1
-        self._live_oids[oid] = shard_id
+        self._routing[oid] = shard_id
+        self._sources[oid] = xpath
+        self._cost.add(parsed)
         if self.parallel:
             self._fold_insert(self._payloads[shard_id], oid, xpath)
             self._send_control(shard_id, ("subscribe", oid, xpath))
@@ -437,9 +545,11 @@ class ShardedFilterEngine:
         the next compaction."""
         if self._closed:
             raise ServiceError("engine is closed")
-        if oid not in self._live_oids:
+        if oid not in self._routing:
             raise WorkloadError(f"unknown oid {oid!r}")
-        shard_id = self._live_oids.pop(oid)
+        shard_id = self._routing.pop(oid)
+        self._sources.pop(oid, None)
+        self._cost.drop(oid)
         self._epoch += 1
         if self.parallel:
             self._fold_remove(self._payloads[shard_id], oid)
@@ -463,6 +573,139 @@ class ShardedFilterEngine:
                 if compact is not None:
                     compact()
 
+    # Placement verbs — hot-shard management on the same control plane.
+    # Each verb runs between batch fan-outs (filter_batch drains its
+    # in-flight work before returning), so every batch is answered
+    # entirely pre-move or entirely post-move and answers stay exactly
+    # the serial machine's at every epoch.
+
+    def shard_load(self) -> list[float]:
+        """Per-shard cost totals under the current routing table."""
+        return shard_loads(self._routing, self._cost.costs(), self.shards)
+
+    def imbalance(self) -> float:
+        """Hottest-shard load over mean load (1.0 = balanced)."""
+        return imbalance(self.shard_load())
+
+    def seed_placement(self, documents: Sequence[Document]) -> None:
+        """Seed the cost model's σ̂ from a document sample (the live
+        match-rate feedback keeps refining it afterwards)."""
+        self._cost.seed(self.filters, list(documents))
+
+    def rebalance(self) -> list[Move]:
+        """Migrate filters between shards until the cost-model
+        imbalance is within ``rebalance_threshold`` (or no single move
+        improves it); returns the executed moves.  One epoch bump for
+        the whole plan."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        moves = plan_rebalance(
+            self._routing, self._cost.costs(), self.shards, self.rebalance_threshold
+        )
+        if moves:
+            self._apply_moves(moves)
+            self.rebalances += 1
+        return moves
+
+    def maybe_rebalance(self) -> bool:
+        """Hot-shard detection: rebalance iff the imbalance gauge
+        exceeds ``rebalance_threshold``.  True when moves executed."""
+        if self.imbalance() <= self.rebalance_threshold:
+            return False
+        return bool(self.rebalance())
+
+    def split(self) -> int:
+        """Add one shard (an empty worker) and rebalance filters onto
+        it; returns the new shard count."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        new_id = self.shards
+        self.shards += 1
+        self._epoch += 1
+        if self.parallel:
+            from repro.service.worker import build_payload
+
+            payload = build_payload(
+                self._worker_config(),
+                self._shard_snapshot([]),
+                warm=self.warm,
+                training_seed=self.training_seed,
+                oids=[],
+            )
+            payload["epoch"] = self._epoch
+            self._payloads[new_id] = payload
+            handle = _WorkerHandle(new_id)
+            self._workers[new_id] = handle
+            self._spawn(handle)
+        else:
+            from repro.engine.factory import create_engine
+
+            inner_config = self._inner_config(dtd=self.dtd, options=self.options)
+            self._engines[new_id] = create_engine(inner_config, [])
+        self.splits += 1
+        moves = plan_rebalance(
+            self._routing, self._cost.costs(), self.shards, self.rebalance_threshold
+        )
+        if moves:
+            self._apply_moves(moves)
+        return self.shards
+
+    def merge(self) -> int:
+        """Drain the last shard onto the others and retire its worker;
+        returns the new shard count."""
+        if self._closed:
+            raise ServiceError("engine is closed")
+        if self.shards <= 1:
+            raise ServiceError("cannot merge a single-shard engine")
+        victim = self.shards - 1
+        moves = plan_drain(victim, self._routing, self._cost.costs(), self.shards)
+        self._epoch += 1
+        self.migrations += len(moves)
+        for move in moves:
+            source = self._sources[move.oid]
+            self._routing[move.oid] = move.target
+            if self.parallel:
+                self._fold_insert(self._payloads[move.target], move.oid, source)
+                self._send_control(move.target, ("subscribe", move.oid, source))
+            else:
+                self._engines[move.target].subscribe(move.oid, source)
+        # The victim needs no per-filter unsubscribes — the whole
+        # worker (or in-process engine) is retired with its state.
+        if self.parallel:
+            handle = self._workers.pop(victim)
+            self._stop_handle(handle)
+            self._payloads.pop(victim, None)
+        else:
+            engine = self._engines.pop(victim)
+            close = getattr(engine, "close", None)
+            if close is not None:
+                close()
+        self.shards -= 1
+        self.merges += 1
+        return self.shards
+
+    def _apply_moves(self, moves: Sequence[Move]) -> None:
+        """Execute a migration plan as one epoch of control messages.
+
+        Add before remove: if a crash interleaves, the filter is
+        transiently live on both shards — benign, because per-document
+        answers are unioned — whereas remove-first would open a window
+        where neither shard answers for it.
+        """
+        self._epoch += 1
+        self.migrations += len(moves)
+        for move in moves:
+            source = self._sources[move.oid]
+            self._routing[move.oid] = move.target
+            if self.parallel:
+                self._fold_insert(self._payloads[move.target], move.oid, source)
+                self._send_control(move.target, ("subscribe", move.oid, source))
+                self._fold_remove(self._payloads[move.source], move.oid)
+                self._send_control(move.source, ("unsubscribe", move.oid))
+            else:
+                self._engines[move.target].subscribe(move.oid, source)
+                self._engines[move.source].unsubscribe(move.oid)
+
     def _send_control(self, shard_id: int, op: tuple) -> None:
         handle = self._workers[shard_id]
         # If the worker is dead, _put_task restarts it from the payload
@@ -481,6 +724,9 @@ class ShardedFilterEngine:
             snap["delta"][oid] = xpath
         else:
             snap["filters"][oid] = xpath
+        oids = payload.setdefault("oids", [])
+        if oid not in oids:
+            oids.append(oid)
         payload["epoch"] = self._epoch
 
     def _fold_remove(self, payload: dict, oid: str) -> None:
@@ -490,6 +736,9 @@ class ShardedFilterEngine:
                 snap["tombstones"].append(oid)
         else:
             snap["filters"].pop(oid, None)
+        oids = payload.setdefault("oids", [])
+        if oid in oids:
+            oids.remove(oid)
         payload["epoch"] = self._epoch
 
     def _fold_compact(self, payload: dict) -> None:
@@ -525,14 +774,26 @@ class ShardedFilterEngine:
         if not docs:
             return []
         self.documents += len(docs)
-        if not self._live_oids:
+        if not self._routing:
             # No live filter can match; tombstoned machines would only
             # produce answers the merge drops anyway.
             self.batches += 1
             return [frozenset()] * len(docs)
         if not self.parallel:
-            return self._filter_batch_serial(docs)
-        return self._filter_batch_parallel(docs)
+            results = self._filter_batch_serial(docs)
+        else:
+            results = self._filter_batch_parallel(docs)
+        # Live selectivity feedback: fold the answered match rates into
+        # the cost model, then let hot-shard detection act on them.
+        self._cost.observe(results)
+        if (
+            self.placement == "cost"
+            and self.rebalance_interval > 0
+            and self.batches - self._auto_marker >= self.rebalance_interval
+        ):
+            self._auto_marker = self.batches
+            self.maybe_rebalance()
+        return results
 
     def _filter_batch_serial(self, docs: list[Document]) -> list[frozenset[str]]:
         merged: list[set[str]] = [set() for _ in docs]
@@ -540,20 +801,37 @@ class ShardedFilterEngine:
         for offset in range(0, len(docs), self.batch_size):
             chunk = docs[offset : offset + self.batch_size]
             started = time.perf_counter()
+            # Per-shard busy seconds within this fan-out: the maximum
+            # is the critical path an ideally parallel run would pay —
+            # the modelled latency the placement benchmarks gate on.
+            chunk_busy: dict[int, float] = {}
             for index, doc in enumerate(chunk):
                 if hook is None:
-                    for engine in self._engines.values():
+                    for shard_id, engine in self._engines.items():
+                        shard_started = time.perf_counter()
                         merged[offset + index] |= engine.filter_document(doc)
+                        chunk_busy[shard_id] = chunk_busy.get(shard_id, 0.0) + (
+                            time.perf_counter() - shard_started
+                        )
                 else:
                     merged[offset + index] |= self._filter_document_emitting(
-                        doc, offset + index, started, hook
+                        doc, offset + index, started, hook, chunk_busy
                     )
             self.batches += 1
             self.latency.record(time.perf_counter() - started)
+            if chunk_busy:
+                self.critical_path.record(max(chunk_busy.values()))
+                for shard_id, busy in chunk_busy.items():
+                    self._busy[shard_id] = self._busy.get(shard_id, 0.0) + busy
         return [frozenset(s) for s in merged]
 
     def _filter_document_emitting(
-        self, doc: Document, doc_pos: int, started: float, hook: MatchHook
+        self,
+        doc: Document,
+        doc_pos: int,
+        started: float,
+        hook: MatchHook,
+        chunk_busy: dict[int, float],
     ) -> set[str]:
         """One document through every in-process shard engine with the
         event-time relay wired.  Shard workloads are disjoint, so no
@@ -569,12 +847,16 @@ class ShardedFilterEngine:
                 self.first_match.record(time.perf_counter() - started)
             hook(oid, doc_index, event_index)
 
-        for engine in self._engines.values():
+        for shard_id, engine in self._engines.items():
             engine.on_match = _relay
+            shard_started = time.perf_counter()
             try:
                 matched |= engine.filter_document(doc)
             finally:
                 engine.on_match = None
+                chunk_busy[shard_id] = chunk_busy.get(shard_id, 0.0) + (
+                    time.perf_counter() - shard_started
+                )
         return matched
 
     def _filter_batch_parallel(self, docs: list[Document]) -> list[frozenset[str]]:
@@ -712,7 +994,11 @@ class ShardedFilterEngine:
             merged[offset + index] |= oids
         if not info_entry["waiting"]:
             self.batches += 1
-            self.latency.record(time.perf_counter() - info_entry["started"])
+            elapsed = time.perf_counter() - info_entry["started"]
+            self.latency.record(elapsed)
+            # Workers run concurrently: the wall time to the last shard
+            # reply *is* the fan-out's critical path.
+            self.critical_path.record(elapsed)
             del outstanding[batch_id]
 
     def filter_document(self, document: Document) -> frozenset[str]:
@@ -783,8 +1069,9 @@ class ShardedFilterEngine:
             "shards": self.shards,
             "inner": self.inner,
             "strategy": self.strategy,
+            "placement": self.placement,
             "epoch": self._epoch,
-            "routing": dict(self._live_oids),
+            "routing": dict(self._routing),
             "shard_snapshots": shard_snapshots,
         }
         record_schema_identity(out, self.config)
@@ -817,23 +1104,36 @@ class ShardedFilterEngine:
         self._shutdown_workers()
         self.shards = int(snapshot["shards"])
         self.inner = str(snapshot.get("inner", self.inner))
+        self.placement = str(snapshot.get("placement", self.placement))
         self._epoch = int(snapshot.get("epoch", 0))
-        self._live_oids = {
+        self._routing = {
             str(oid): int(shard) for oid, shard in snapshot.get("routing", {}).items()
         }
+        # Rebuild the migration sources and the cost model from the
+        # captured shard workloads (σ̂ restarts from zero — live match
+        # rates are runtime state, re-earned from traffic).
+        self._sources = {}
+        self._cost = CostModel()
+        self._busy = {}
+        for shard_snap in shard_snapshots:
+            for oid, source in _snapshot_sources(shard_snap).items():
+                self._sources[oid] = source
+                if oid in self._routing:
+                    self._cost.add_source(oid, source)
+        self._payloads = {}
         if self.parallel:
-            dtd = self.dtd
-            options = self.options
-            if dtd is not None and not _picklable(dtd):
-                dtd = None
-                options = replace(options, order=False, train=False, schema_mode="off")
-            inner_config = self._inner_config(dtd=dtd, options=options)
+            inner_config = self._worker_config()
             for shard_id in range(self.shards):
                 payload = build_payload(
                     inner_config,
                     shard_snapshots[shard_id],
                     warm=self.warm,
                     training_seed=self.training_seed,
+                    oids=[
+                        oid
+                        for oid, shard in self._routing.items()
+                        if shard == shard_id
+                    ],
                 )
                 payload["epoch"] = self._epoch
                 self._payloads[shard_id] = payload
@@ -881,22 +1181,26 @@ class ShardedFilterEngine:
         ("schema_pruned_states", 0),
         ("schema_pruned_edges", 0),
         ("schema_fallbacks", 0),
+        ("busy_s", 0.0),
     )
 
     def _shard_filter_count(self, shard_id: int) -> int:
-        return sum(1 for shard in self._live_oids.values() if shard == shard_id)
+        return sum(1 for shard in self._routing.values() if shard == shard_id)
 
     def stats(self) -> dict:
+        loads = self.shard_load()
         per_shard = []
         for shard_id in range(self.shards):
             entry: dict = {
                 "shard": shard_id,
                 "filters": self._shard_filter_count(shard_id),
+                "load": loads[shard_id],
             }
             engine = self._engines.get(shard_id)
             if engine is not None:
                 info = engine.stats()
                 info["applied_epoch"] = self._epoch
+                info["busy_s"] = self._busy.get(shard_id, 0.0)
             elif shard_id in self._workers:
                 info = self._workers[shard_id].info
             else:
@@ -918,6 +1222,7 @@ class ShardedFilterEngine:
             "inner": self.inner,
             "shards": self.shards,
             "strategy": self.strategy,
+            "placement": self.placement,
             "backend": self.backend,
             "runtime": self.options.runtime,
             "schema_mode": self.options.schema_mode,
@@ -934,22 +1239,32 @@ class ShardedFilterEngine:
             "xpush_states": sum(e["xpush_states"] for e in per_shard),
             "queue_depths": depths,
             "per_shard": per_shard,
+            "shard_load": loads,
+            "imbalance": self.imbalance(),
+            "rebalances": self.rebalances,
+            "splits": self.splits,
+            "merges": self.merges,
+            "migrations": self.migrations,
             "batch_latency": self.latency.snapshot(),
             "first_match_latency": self.first_match.snapshot(),
+            "critical_path_latency": self.critical_path.snapshot(),
         }
+
+    def _stop_handle(self, handle: "_WorkerHandle") -> None:
+        if handle.process is None:
+            return
+        try:
+            handle.tasks.put_nowait(("stop",))
+        except queue_module.Full:
+            pass
+        handle.process.join(timeout=2.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=1.0)
 
     def _shutdown_workers(self) -> None:
         for handle in self._workers.values():
-            if handle.process is None:
-                continue
-            try:
-                handle.tasks.put_nowait(("stop",))
-            except queue_module.Full:
-                pass
-            handle.process.join(timeout=2.0)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
+            self._stop_handle(handle)
         self._workers.clear()
         for engine in self._engines.values():
             close = getattr(engine, "close", None)

@@ -31,10 +31,12 @@ class LatencyTracker:
     def __init__(self, window: int = 1024):
         self._samples: deque[float] = deque(maxlen=window)
         self.count = 0
+        self.total = 0.0
 
     def record(self, seconds: float) -> None:
         self._samples.append(seconds)
         self.count += 1
+        self.total += seconds
 
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile over the retained window (seconds)."""
@@ -49,4 +51,5 @@ class LatencyTracker:
             "p90_ms": _rank(ordered, 0.90) * 1000.0,
             "p99_ms": _rank(ordered, 0.99) * 1000.0,
             "max_ms": (ordered[-1] if ordered else 0.0) * 1000.0,
+            "total_ms": self.total * 1000.0,
         }

@@ -27,17 +27,39 @@ from repro.xpath.ast import XPathFilter
 
 PARTITION_STRATEGIES = ("hash", "round_robin", "size_balanced")
 
+#: Post-boot routing policies of the placement layer
+#: (:mod:`repro.service.placement`): ``hash`` keeps CRC-32 routing,
+#: ``cost`` routes new subscribes to the lightest shard by model cost.
+PLACEMENT_POLICIES = ("hash", "cost")
+
 
 def shard_of_oid(oid: str, shards: int) -> int:
     """Stable shard index for *oid* under the ``hash`` strategy."""
     return zlib.crc32(oid.encode("utf-8")) % shards
 
 
-def afa_state_count(xpath_filter: XPathFilter) -> int:
-    """Number of AFA states *xpath_filter* compiles to (shard weight)."""
-    from repro.afa.build import build_workload_automata
+#: Structure → state count, keyed by the normalised path form.  The
+#: count depends only on the filter's structure, never its oid, so
+#: deduplicated workloads compile each distinct filter exactly once
+#: (``size_balanced`` over 2k filters used to recompile per call).
+_STATE_COUNT_CACHE: dict[str, int] = {}
 
-    return build_workload_automata([xpath_filter]).state_count
+
+def afa_state_count(xpath_filter: XPathFilter) -> int:
+    """Number of AFA states *xpath_filter* compiles to (shard weight).
+
+    Memoized on the normalised path: repeated calls — every
+    ``size_balanced`` boot, every cost-model refresh — pay for one
+    single-filter compile per *distinct* filter, not per call.
+    """
+    key = str(xpath_filter.path)
+    cached = _STATE_COUNT_CACHE.get(key)
+    if cached is None:
+        from repro.afa.build import build_workload_automata
+
+        cached = build_workload_automata([xpath_filter]).state_count
+        _STATE_COUNT_CACHE[key] = cached
+    return cached
 
 
 def partition_filters(

@@ -59,7 +59,8 @@ than the one they were first submitted under.
 from __future__ import annotations
 
 import os
-from typing import Any
+import time
+from typing import Any, Sequence
 
 
 def build_payload(
@@ -67,18 +68,23 @@ def build_payload(
     snapshot: dict | None,
     warm: bool = True,
     training_seed: int = 0,
+    oids: Sequence[str] | None = None,
 ) -> dict:
     """The picklable description of one shard a worker boots from.
 
     *config* is the inner engine's :class:`EngineConfig`; *snapshot* is
     that engine's ``snapshot()`` capture (or ``None`` for an engine
-    that starts empty and grows through control messages).
+    that starts empty and grows through control messages); *oids* is
+    the placement layer's routing projection — the oids this shard
+    answers for, kept in lockstep with the snapshot by the parent's
+    fold helpers so a restarted worker and the routing table agree.
     """
     return {
         "config": config,
         "snapshot": snapshot,
         "warm": warm,
         "training_seed": training_seed,
+        "oids": list(oids or []),
     }
 
 
@@ -94,9 +100,10 @@ def _build_engine(payload: dict):
     return engine
 
 
-def _engine_info(engine, applied_epoch: int) -> dict[str, Any]:
+def _engine_info(engine, applied_epoch: int, busy_s: float = 0.0) -> dict[str, Any]:
     info = dict(engine.stats())
     info["applied_epoch"] = applied_epoch
+    info["busy_s"] = busy_s
     return info
 
 
@@ -108,6 +115,7 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
         results.put(("error", shard_id, None, f"worker init failed: {error!r}"))
         return
     applied_epoch = payload.get("epoch", 0)
+    busy_s = 0.0
     results.put(("ready", shard_id, _engine_info(engine, applied_epoch)))
     while True:
         task = tasks.get()
@@ -154,6 +162,7 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
                 )
 
             engine.on_match = _relay
+        started = time.perf_counter()
         try:
             # The inner engine builds its machines with
             # retain_results=False, so the per-call return is the only
@@ -165,8 +174,15 @@ def worker_main(shard_id: int, payload: dict, tasks, results) -> None:
             results.put(("error", shard_id, batch_id, repr(error)))
             continue
         finally:
+            busy_s += time.perf_counter() - started
             if emit:
                 engine.on_match = None
         results.put(
-            ("batch", shard_id, batch_id, answers, _engine_info(engine, applied_epoch))
+            (
+                "batch",
+                shard_id,
+                batch_id,
+                answers,
+                _engine_info(engine, applied_epoch, busy_s),
+            )
         )

@@ -466,6 +466,7 @@ class LayeredFilterEngine:
     def stats(self) -> dict[str, Any]:
         base, delta = self._base, self._delta
         layers = [m for m in (base, delta) if m is not None]
+        afa_states = sum(m.workload.state_count for m in layers)
         return {
             "engine": self.name,
             "filters": self.filter_count,
@@ -479,8 +480,12 @@ class LayeredFilterEngine:
             "hit_ratio": base.stats.hit_ratio if base else 0.0,
             # Cross-layer aggregates, named as the serial machine names
             # them so composite (sharded/broker) stats read uniformly.
-            "afa_states": sum(m.workload.state_count for m in layers),
+            "afa_states": afa_states,
             "xpush_states": sum(m.state_count for m in layers),
+            # Uniform placement gauge block: one layered engine is one
+            # "shard" carrying its whole automaton weight.
+            "shard_load": [float(afa_states)],
+            "imbalance": 1.0,
             "events": sum(m.stats.events for m in layers),
             "bytes_processed": self.bytes_processed,
             "resident_bytes": sum(m.store.resident_bytes for m in layers),

@@ -22,6 +22,7 @@ def test_empty_snapshot_is_all_zero():
         "p90_ms": 0.0,
         "p99_ms": 0.0,
         "max_ms": 0.0,
+        "total_ms": 0.0,
     }
 
 
@@ -53,7 +54,10 @@ def test_percentile_is_order_insensitive():
         ordered.record(s)
     for s in samples:
         shuffled.record(s)
-    assert ordered.snapshot() == shuffled.snapshot()
+    left, right = ordered.snapshot(), shuffled.snapshot()
+    # total_ms sums floats in arrival order; compare it approximately.
+    assert left.pop("total_ms") == pytest.approx(right.pop("total_ms"))
+    assert left == right
     assert ordered.percentile(0.50) == pytest.approx(0.005)
 
 
@@ -65,6 +69,8 @@ def test_window_evicts_oldest_but_count_is_lifetime():
     assert snapshot["count"] == 7
     assert snapshot["max_ms"] == pytest.approx(8.0)  # 1.0s samples evicted
     assert snapshot["p50_ms"] == pytest.approx(4.0)
+    # total is lifetime too — evicted samples still count toward it.
+    assert snapshot["total_ms"] == pytest.approx(3020.0)
 
 
 def test_extreme_fractions_clamp_to_the_window():

@@ -1,0 +1,101 @@
+"""The ``rebalance`` wire verb: placement control over frames and HTTP.
+
+The serving tier forwards ``rebalance`` to the engine via the same
+``getattr`` capability probe as ``compact`` — a sharded engine answers
+with the move count and post-rebalance imbalance, anything else gets a
+clean error reply, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import EngineConfig
+
+from tests.serving.conftest import FILTER_POOL
+
+
+def _post_json(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture
+def sharded_base(serve):
+    handle = serve(
+        EngineConfig(engine="sharded", shards=2, parallel=False, placement="cost"),
+        dict(FILTER_POOL),
+    )
+    return f"http://{handle.server.host}:{handle.server.port}"
+
+
+def test_rebalance_over_http_on_a_sharded_engine(sharded_base):
+    reply = _post_json(sharded_base, "/rebalance", {})
+    assert reply["ok"] is True
+    assert reply["epoch"] >= 1  # the verb bumps the control epoch
+    assert reply["moves"] >= 0
+    assert reply["imbalance"] >= 1.0
+    # The engine stays fully serviceable afterwards.
+    request = urllib.request.Request(
+        sharded_base + "/publish", data=b"<a><b>1</b></a>", method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        publish = json.loads(response.read())
+    assert publish["ok"] and publish["results"] == [["q0", "q1", "q5", "q6"]]
+
+
+def test_rebalance_is_an_error_on_engines_without_the_verb(serve):
+    handle = serve(EngineConfig(engine="layered"), dict(FILTER_POOL))
+    base = f"http://{handle.server.host}:{handle.server.port}"
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_json(base, "/rebalance", {})
+    assert excinfo.value.code == 400
+    body = json.loads(excinfo.value.read())
+    assert "no rebalance verb" in body["error"]
+    # The server survived the refused verb.
+    assert _get(base, "/healthz")["ok"] is True
+
+
+def test_server_stats_mirror_the_placement_gauges(sharded_base):
+    stats = _get(sharded_base, "/stats")["stats"]
+    # Uniform gauge block at the server level...
+    assert len(stats["shard_load"]) == 2
+    assert stats["imbalance"] >= 1.0
+    # ...copied from the engine's own gauges.
+    assert stats["shard_load"] == stats["engine"]["shard_load"]
+    assert stats["engine"]["placement"] == "cost"
+
+
+def test_rebalance_after_skewing_subscribes_moves_filters(serve):
+    """Drive the imbalance up through the wire API alone: subscribe a
+    pile of new filters, then let the verb spread them out."""
+    handle = serve(
+        EngineConfig(
+            engine="sharded", shards=2, parallel=False, placement="hash"
+        ),
+        dict(FILTER_POOL),
+    )
+    base = f"http://{handle.server.host}:{handle.server.port}"
+    for i in range(6):
+        reply = _post_json(
+            base, "/subscribe", {"oid": f"w{i}", "xpath": f"//a[b = {i + 10}]"}
+        )
+        assert reply["ok"]
+    before = _get(base, "/stats")["stats"]["imbalance"]
+    reply = _post_json(base, "/rebalance", {})
+    assert reply["ok"]
+    after = _get(base, "/stats")["stats"]["imbalance"]
+    assert after <= before
+    assert after == pytest.approx(reply["imbalance"])

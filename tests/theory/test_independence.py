@@ -108,3 +108,129 @@ def test_networkx_export(running_filters):
     workload = build_workload_automata(running_filters)
     graph = IndependenceAnalysis(workload).networkx_graph()
     assert graph.number_of_nodes() == workload.state_count
+
+
+# -- hypothesis properties over the relation algebra -------------------
+
+_CONVERSE = {
+    Relation.EQUIVALENT: Relation.EQUIVALENT,
+    Relation.INCONSISTENT: Relation.INCONSISTENT,
+    Relation.INDEPENDENT: Relation.INDEPENDENT,
+    Relation.SUBSUMES: Relation.SUBSUMED,
+    Relation.SUBSUMED: Relation.SUBSUMES,
+}
+
+
+def _predicate_strategy():
+    import hypothesis.strategies as st
+
+    ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+    constants = st.one_of(
+        st.integers(min_value=-3, max_value=3),
+        st.sampled_from(["a", "b", "c"]),
+    )
+    return st.builds(P, ops, constants)
+
+
+def test_predicate_relation_is_reflexive_and_converse_symmetric():
+    from hypothesis import given, settings
+
+    @settings(max_examples=200, deadline=None)
+    @given(_predicate_strategy(), _predicate_strategy())
+    def check(p, q):
+        assert predicate_relation(p, p) is Relation.EQUIVALENT
+        assert predicate_relation(q, p) is _CONVERSE[predicate_relation(p, q)]
+
+    check()
+
+
+def test_predicate_relation_agrees_with_witness_evaluation():
+    """The declared relation must hold pointwise on a witness grid: a
+    SUBSUMES answer with a counterexample value is a soundness bug."""
+    from hypothesis import given, settings
+
+    def holds(pred, value):
+        return pred.test(value)
+
+    # Raw data values as the machine sees them (π_s over strings, with
+    # numeric coercion inside `test`).
+    witnesses = ["-4", "-1", "0", "1", "2", "3", "4", "", "a", "ab", "b", "c", "d"]
+
+    @settings(max_examples=200, deadline=None)
+    @given(_predicate_strategy(), _predicate_strategy())
+    def check(p, q):
+        relation = predicate_relation(p, q)
+        both = [w for w in witnesses if holds(p, w) and holds(q, w)]
+        only_p = [w for w in witnesses if holds(p, w) and not holds(q, w)]
+        only_q = [w for w in witnesses if holds(q, w) and not holds(p, w)]
+        if relation is Relation.EQUIVALENT:
+            assert not only_p and not only_q
+        elif relation is Relation.INCONSISTENT:
+            assert not both
+        elif relation is Relation.SUBSUMES:  # p ⇒ q
+            assert not only_p
+        elif relation is Relation.SUBSUMED:  # q ⇒ p
+            assert not only_q
+
+    check()
+
+
+def _brute_clique_count(adjacency):
+    """Count cliques (incl. the empty one) by subset enumeration."""
+    from itertools import combinations
+
+    nodes = sorted(adjacency)
+    count = 1  # the empty clique
+    for size in range(1, len(nodes) + 1):
+        for subset in combinations(nodes, size):
+            if all(
+                b in adjacency[a] for a, b in combinations(subset, 2)
+            ):
+                count += 1
+    return count
+
+
+def test_count_cliques_matches_brute_force_on_random_graphs():
+    from hypothesis import given, settings
+    import hypothesis.strategies as st
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    def check(n, data):
+        adjacency = {i: set() for i in range(n)}
+        for i in range(n):
+            for j in range(i + 1, n):
+                if data.draw(st.booleans(), label=f"edge {i}-{j}"):
+                    adjacency[i].add(j)
+                    adjacency[j].add(i)
+        assert count_cliques(adjacency) == _brute_clique_count(adjacency)
+
+    check()
+
+
+def test_theorem_61_bound_on_hypothesis_workloads(protein):
+    """Theorem 6.1 as a property: for random small generated workloads
+    the eager construction never exceeds the clique bound."""
+    from hypothesis import given, settings
+    import hypothesis.strategies as st
+
+    from tests.conftest import make_workload
+
+    from repro.xpush.eager import BudgetExceeded
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10_000))
+    def check(count, seed):
+        filters = make_workload(
+            protein, count, seed=seed, mean_predicates=1.0,
+            prob_not=0.0, prob_or=0.0, prob_nested=0.0,
+            prob_wildcard=0.0, prob_descendant=0.0,
+        )
+        try:
+            eager = EagerXPushMachine(filters, max_states=20_000)
+        except BudgetExceeded:
+            return  # the bound is about machines that fit the budget
+        bound = IndependenceAnalysis(eager.workload).clique_bound(limit=50_000_000)
+        assert eager.state_count <= bound
+
+    check()

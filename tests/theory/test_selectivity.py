@@ -70,3 +70,92 @@ def test_generated_workload_selectivities_are_low(protein, protein_docs):
     # Predicates drawn from large value pools are individually rare —
     # the σ ≪ 1 regime Theorem 6.2 assumes.
     assert report.median_selectivity < 0.5
+
+
+def test_heterogeneous_corpus_hand_computed():
+    """Three predicates with three different hand-counted σs on one
+    six-document corpus."""
+    filters = parse_workload(
+        {"q0": "/r[common = 'y']", "q1": "/r[rare = 'z']", "q2": "/r[@never = '1']"}
+    )
+    sample = docs(
+        "<r><common>y</common></r>",
+        "<r><common>y</common><rare>z</rare></r>",
+        "<r><common>y</common></r>",
+        "<r><common>n</common></r>",
+        "<r/>",
+        "<r><common>y</common></r>",
+    )
+    report = estimate_selectivities(filters, sample)
+    by_key = {key[0]: value for key, value in report.per_predicate.items()}
+    assert by_key["common"] == pytest.approx(4 / 6)
+    assert by_key["rare"] == pytest.approx(1 / 6)
+    assert by_key["@never"] == 0.0
+    assert report.max_selectivity == pytest.approx(4 / 6)
+    assert report.median_selectivity == pytest.approx(1 / 6)
+
+
+def test_filter_selectivities_aggregates_per_filter():
+    """The placement layer's per-filter view: the mean over the
+    filter's own atoms, 0.0 for predicate-free filters."""
+    from repro.service.placement import filter_selectivities
+    from repro.xpath.parser import parse_xpath
+
+    filters = [
+        parse_xpath("/r[a = 1]", "one"),
+        parse_xpath("/r[a = 1 and b = 2]", "two"),
+        parse_xpath("/r/a", "plain"),
+    ]
+    sample = docs("<r><a>1</a></r>", "<r><a>1</a><b>2</b></r>", "<r/>", "<r/>")
+    sigmas = filter_selectivities(filters, sample)
+    assert sigmas["one"] == pytest.approx(2 / 4)
+    assert sigmas["two"] == pytest.approx((2 / 4 + 1 / 4) / 2)
+    assert sigmas["plain"] == 0.0
+
+
+def _doc_strategy():
+    """Small documents over a tiny closed vocabulary, so predicates
+    drawn from the same vocabulary have non-trivial selectivities."""
+    import hypothesis.strategies as st
+
+    leaf = st.sampled_from(["<b>1</b>", "<b>2</b>", "<c>1</c>", "<d/>", ""])
+    return st.lists(leaf, min_size=0, max_size=3).map(
+        lambda leaves: "<a>" + "".join(leaves) + "</a>"
+    )
+
+
+def test_selectivities_bounded_and_key_stable_on_random_corpora():
+    from hypothesis import given, settings
+    import hypothesis.strategies as st
+
+    filters = parse_workload(
+        {"q0": "/a[b = 1]", "q1": "/a[b = 2 or c = 1]", "q2": "/a[not(d)]"}
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_doc_strategy(), min_size=1, max_size=8))
+    def check(xmls):
+        report = estimate_selectivities(filters, docs(*xmls))
+        assert report.documents == len(xmls)
+        assert all(0.0 <= value <= 1.0 for value in report.per_predicate.values())
+        assert (
+            report.median_selectivity
+            <= report.max_selectivity
+        )
+        assert report.mean_selectivity <= report.max_selectivity
+        # σ is a per-document frequency: every estimate must be an
+        # integer count of satisfying documents over the sample size.
+        for value in report.per_predicate.values():
+            assert (value * len(xmls)) == pytest.approx(round(value * len(xmls)))
+
+    check()
+
+
+def test_duplicating_filters_does_not_change_the_report():
+    filters = parse_workload({"q": "/a[b = 1]"})
+    doubled = parse_workload({"q": "/a[b = 1]", "p": "/a[b = 1]"})
+    sample = docs("<a><b>1</b></a>", "<a/>")
+    assert (
+        estimate_selectivities(filters, sample).per_predicate
+        == estimate_selectivities(doubled, sample).per_predicate
+    )
